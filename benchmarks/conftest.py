@@ -1,0 +1,225 @@
+"""Shared benchmark workbench: datasets and trained models, cached per run.
+
+The benchmark harness regenerates every table and figure of the paper at a
+reduced scale (``REPRO_SCALE=fast``, default) or a larger one
+(``REPRO_SCALE=full``). Heavy artifacts — trained plain models,
+Lipschitz-regularized models and full CorrectNet pipeline results per
+network-dataset pair — are built lazily once per session and reused across
+benchmark files.
+
+The four pairs mirror the paper's Table I:
+VGG16-Cifar100, VGG16-Cifar10, LeNet5-Cifar10, LeNet5-MNIST
+(on the synthetic stand-in datasets; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+import pytest
+
+from repro.core import CorrectNet, Trainer
+from repro.core.config import (
+    CompensationConfig, EvalConfig, PipelineConfig, RLConfig, TrainConfig,
+)
+from repro.data import synth_cifar10, synth_cifar100, synth_mnist
+from repro.lipschitz import OrthogonalityRegularizer, lambda_bound
+from repro.models import build_model
+from repro.optim import Adam, CosineSchedule
+
+SCALE = os.environ.get("REPRO_SCALE", "fast")
+SIGMA = 0.5  # the paper's headline variation level
+
+
+@dataclass
+class PairSpec:
+    """One network-dataset pair with scale-dependent settings."""
+
+    key: str
+    paper_name: str
+    model_name: str
+    data_factory: Callable
+    train_epochs: int
+    comp_epochs: int
+    rl_episodes: int
+    mc_samples: int
+    overhead_limits: Tuple[float, ...]
+    lr: float = 3e-3
+    beta: float = 1.0
+    warmup: int = 0
+    max_candidates: int = 4
+    width: float = 1.0  # passed to build_model (per-pair redundancy level)
+
+
+def _pairs_fast() -> Dict[str, PairSpec]:
+    return {
+        "vgg16-cifar100": PairSpec(
+            key="vgg16-cifar100",
+            paper_name="VGG16-Cifar100",
+            model_name="vgg16",
+            # fast mode shrinks the class count, keeping the many-class
+            # collapse phenomenon while halving training time
+            data_factory=lambda: synth_cifar100(num_classes=40,
+                                                train_per_class=16,
+                                                test_per_class=8),
+            train_epochs=40,
+            comp_epochs=4,
+            rl_episodes=3,
+            mc_samples=6,
+            overhead_limits=(0.03,),
+            # Deep VGG cannot train under the full orthogonality pull at
+            # this width (DESIGN.md); moderate beta = partial suppression.
+            beta=0.05,
+            warmup=8,
+            max_candidates=3,
+        ),
+        "vgg16-cifar10": PairSpec(
+            key="vgg16-cifar10",
+            paper_name="VGG16-Cifar10",
+            model_name="vgg16",
+            data_factory=lambda: synth_cifar10(train_per_class=48,
+                                               test_per_class=16),
+            train_epochs=45,
+            comp_epochs=4,
+            rl_episodes=3,
+            mc_samples=6,
+            overhead_limits=(0.03,),
+            beta=0.05,
+            warmup=10,
+            max_candidates=3,
+        ),
+        "lenet5-cifar10": PairSpec(
+            key="lenet5-cifar10",
+            paper_name="LeNet5-Cifar10",
+            model_name="lenet5",
+            data_factory=lambda: synth_cifar10(train_per_class=48,
+                                               test_per_class=16),
+            train_epochs=25,
+            comp_epochs=8,
+            rl_episodes=5,
+            mc_samples=8,
+            overhead_limits=(0.06,),
+            # width x2 instead of the registry's x3: the paper's LeNet-C10
+            # is its most fragile LeNet row, so the stand-in gets less
+            # redundancy than the MNIST pair.
+            width=2.0 / 3.0,
+        ),
+        "lenet5-mnist": PairSpec(
+            key="lenet5-mnist",
+            paper_name="LeNet5-MNIST",
+            model_name="lenet5",
+            data_factory=lambda: synth_mnist(),
+            train_epochs=25,
+            comp_epochs=8,
+            rl_episodes=5,
+            mc_samples=8,
+            overhead_limits=(0.06,),
+        ),
+    }
+
+
+def _pairs_full() -> Dict[str, PairSpec]:
+    pairs = _pairs_fast()
+    pairs["vgg16-cifar100"].data_factory = lambda: synth_cifar100()
+    for spec in pairs.values():
+        spec.train_epochs *= 2
+        spec.comp_epochs += 4
+        spec.rl_episodes += 5
+        spec.mc_samples = 50
+    return pairs
+
+
+PAIRS = _pairs_full() if SCALE == "full" else _pairs_fast()
+
+#: sigma grid for Fig. 2 / Fig. 7 sweeps (paper: 0..0.5)
+SIGMA_GRID = [0.1, 0.2, 0.3, 0.4, 0.5]
+
+
+class Workbench:
+    """Lazily builds and caches the expensive artifacts per pair."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, tuple] = {}
+        self._plain: Dict[str, object] = {}
+        self._lipschitz: Dict[str, object] = {}
+        self._correctnet: Dict[str, object] = {}
+
+    # -- data ----------------------------------------------------------
+    def data(self, key: str):
+        if key not in self._data:
+            self._data[key] = PAIRS[key].data_factory()
+        return self._data[key]
+
+    # -- plain (unregularized) training ---------------------------------
+    def plain_model(self, key: str):
+        if key not in self._plain:
+            spec = PAIRS[key]
+            train, test = self.data(key)
+            model = build_model(spec.model_name, train, width=spec.width,
+                                seed=0)
+            opt = Adam(list(model.parameters()), lr=spec.lr)
+            Trainer(model, opt, grad_clip=5.0, seed=0).fit(
+                train, epochs=spec.train_epochs, batch_size=32,
+                scheduler=CosineSchedule(opt, spec.train_epochs,
+                                         min_lr=spec.lr / 10),
+            )
+            self._plain[key] = model
+        return self._plain[key]
+
+    # -- Lipschitz-regularized training ----------------------------------
+    def lipschitz_model(self, key: str):
+        if key not in self._lipschitz:
+            spec = PAIRS[key]
+            train, test = self.data(key)
+            model = build_model(spec.model_name, train, width=spec.width,
+                                seed=0)
+            reg = OrthogonalityRegularizer(lambda_bound(SIGMA), beta=spec.beta)
+            opt = Adam(list(model.parameters()), lr=spec.lr)
+            Trainer(
+                model, opt, regularizer=reg, grad_clip=5.0, seed=0,
+                regularizer_warmup_epochs=spec.warmup,
+            ).fit(
+                train, epochs=spec.train_epochs, batch_size=32,
+                scheduler=CosineSchedule(opt, spec.train_epochs,
+                                         min_lr=spec.lr / 10),
+            )
+            self._lipschitz[key] = model
+        return self._lipschitz[key]
+
+    # -- full CorrectNet pipeline ----------------------------------------
+    def pipeline_config(self, key: str) -> PipelineConfig:
+        spec = PAIRS[key]
+        return PipelineConfig(
+            sigma=SIGMA,
+            train=TrainConfig(epochs=spec.train_epochs, lr=spec.lr,
+                              beta=spec.beta, seed=0),
+            compensation=CompensationConfig(epochs=spec.comp_epochs,
+                                            lr=spec.lr, seed=0),
+            rl=RLConfig(episodes=spec.rl_episodes, hidden_size=16,
+                        ratio_choices=(0.0, 0.25, 0.5, 1.0),
+                        overhead_limits=spec.overhead_limits, seed=0),
+            eval=EvalConfig(n_samples=spec.mc_samples,
+                            search_samples=max(3, spec.mc_samples // 2),
+                            seed=1234, max_candidates=spec.max_candidates),
+        )
+
+    def correctnet_result(self, key: str):
+        if key not in self._correctnet:
+            train, test = self.data(key)
+            base = self.lipschitz_model(key)
+            pipeline = CorrectNet(base, train, test, self.pipeline_config(key))
+            # base model already trained by the workbench
+            self._correctnet[key] = pipeline.run(skip_base_training=True)
+        return self._correctnet[key]
+
+
+@pytest.fixture(scope="session")
+def workbench():
+    return Workbench()
+
+
+@pytest.fixture(scope="session")
+def pairs():
+    return PAIRS

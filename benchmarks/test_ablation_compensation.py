@@ -1,0 +1,91 @@
+"""Ablation: compensation design choices.
+
+(a) Generator width m (the RL agent's per-layer knob): accuracy and
+    overhead as the ratio grows — diminishing returns.
+(b) Compensation with vs without Lipschitz pre-training: the paper's two
+    techniques compose; compensation alone (on a plain model) recovers
+    less than compensation on the suppression-trained model.
+"""
+
+import pytest
+
+from repro.compensation import CompensationPlan, CompensationTrainer, plan_overhead
+from repro.evaluation import MonteCarloEvaluator
+from repro.utils.tables import format_table
+from repro.variation import LogNormalVariation
+
+from conftest import PAIRS, SIGMA
+
+KEY = "lenet5-mnist"
+RATIOS = [0.25, 0.5, 1.0]
+
+
+def _train_compensation(base, plan, train, spec, seed=0):
+    comp = plan.apply(base, seed=seed)
+    trainer = CompensationTrainer(comp, LogNormalVariation(SIGMA),
+                                  lr=spec.lr, seed=seed)
+    trainer.fit(train, epochs=spec.comp_epochs, batch_size=32)
+    return comp
+
+
+def test_ablation_generator_width(benchmark, workbench):
+    spec = PAIRS[KEY]
+    base = workbench.lipschitz_model(KEY)
+    train, test = workbench.data(KEY)
+    evaluator = MonteCarloEvaluator(test, n_samples=spec.mc_samples, seed=21)
+
+    def run():
+        rows = []
+        for ratio in RATIOS:
+            plan = CompensationPlan({0: ratio, 1: ratio})
+            comp = _train_compensation(base, plan, train, spec)
+            result = evaluator.evaluate(comp, LogNormalVariation(SIGMA))
+            rows.append([ratio, 100 * plan_overhead(base, comp),
+                         100 * result.mean, 100 * result.std])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n[Ablation] generator width on {spec.paper_name} "
+          "(layers 0-1 compensated)")
+    print(format_table(["ratio m/n", "overhead %", "acc mean %", "acc std %"],
+                       rows))
+    # Overhead grows monotonically with the ratio.
+    overheads = [r[1] for r in rows]
+    assert overheads == sorted(overheads)
+
+
+def test_ablation_suppression_plus_compensation(benchmark, workbench):
+    """Both techniques together beat compensation-only (and suppression-
+    only) — the composition argument of the paper."""
+    spec = PAIRS[KEY]
+    lipschitz = workbench.lipschitz_model(KEY)
+    plain = workbench.plain_model(KEY)
+    train, test = workbench.data(KEY)
+    evaluator = MonteCarloEvaluator(test, n_samples=spec.mc_samples, seed=22)
+    var = LogNormalVariation(SIGMA)
+    plan = CompensationPlan({0: 1.0, 1: 0.5})
+
+    def run():
+        rows = []
+        rows.append(["plain (no defence)",
+                     100 * evaluator.evaluate(plain, var).mean])
+        rows.append(["suppression only",
+                     100 * evaluator.evaluate(lipschitz, var).mean])
+        comp_plain = _train_compensation(plain, plan, train, spec)
+        rows.append(["compensation only",
+                     100 * evaluator.evaluate(comp_plain, var).mean])
+        comp_both = _train_compensation(lipschitz, plan, train, spec)
+        rows.append(["suppression + compensation",
+                     100 * evaluator.evaluate(comp_both, var).mean])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n[Ablation] technique composition on {spec.paper_name} "
+          f"@ sigma={SIGMA}")
+    print(format_table(["configuration", "acc mean %"], rows))
+
+    by_name = dict(rows)
+    assert by_name["suppression + compensation"] > by_name["plain (no defence)"]
+    assert by_name["suppression + compensation"] >= (
+        by_name["compensation only"] - 3.0
+    )

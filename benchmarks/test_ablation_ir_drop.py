@@ -1,0 +1,70 @@
+"""Ablation: crossbar IR drop (wire resistance) and tile-size mitigation.
+
+Beyond the paper's log-normal programming model, the crossbar simulator
+supports first-order wordline/bitline IR drop. This bench sweeps the
+per-segment wire resistance and shows (a) accuracy degradation with
+resistance and (b) smaller tiles mitigating it — the architectural reason
+physical arrays are bounded at 128-512 cells per side.
+"""
+
+import copy
+
+import pytest
+
+from repro.evaluation import accuracy
+from repro.hardware import analogize
+from repro.utils.tables import format_table
+
+from conftest import PAIRS
+
+KEY = "lenet5-mnist"
+RESISTANCES = [0.0, 50.0, 200.0, 1000.0]
+
+
+def test_ablation_ir_drop_resistance(benchmark, workbench):
+    spec = PAIRS[KEY]
+    model = workbench.lipschitz_model(KEY)
+    _, test = workbench.data(KEY)
+    digital = accuracy(model, test)
+
+    def run():
+        rows = []
+        for r_wire in RESISTANCES:
+            analog = analogize(copy.deepcopy(model), tile_size=128,
+                               wire_resistance=r_wire)
+            rows.append([r_wire, 100 * accuracy(analog, test)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n[Ablation] IR drop on {spec.paper_name} "
+          f"(digital={100 * digital:.2f}%, tile=128)")
+    print(format_table(["wire R per segment (ohm)", "analog acc %"], rows))
+
+    accs = [r[1] for r in rows]
+    assert accs[0] == pytest.approx(100 * digital, abs=1e-6)
+    assert accs[-1] <= accs[0] + 1e-9  # resistance never helps
+
+
+def test_ablation_ir_drop_tile_size(benchmark, workbench):
+    """Smaller tiles shorten worst-case wire paths: accuracy at fixed wire
+    resistance improves as the array is partitioned more finely."""
+    spec = PAIRS[KEY]
+    model = workbench.lipschitz_model(KEY)
+    _, test = workbench.data(KEY)
+    r_wire = 500.0
+
+    def run():
+        rows = []
+        for tile in (256, 64, 16):
+            analog = analogize(copy.deepcopy(model), tile_size=tile,
+                               wire_resistance=r_wire)
+            rows.append([tile, 100 * accuracy(analog, test)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n[Ablation] tile size under IR drop ({r_wire} ohm/segment) "
+          f"on {spec.paper_name}")
+    print(format_table(["tile size", "analog acc %"], rows))
+
+    accs = [r[1] for r in rows]
+    assert accs[-1] >= accs[0] - 1e-9, "finer tiling must not hurt"

@@ -1,0 +1,83 @@
+"""Ablation: alternative variation models and the crossbar signal chain.
+
+(a) The same trained model evaluated under log-normal (paper), additive
+    Gaussian, state-dependent and stuck-at-fault models at matched
+    magnitudes — CorrectNet's machinery is model-agnostic.
+(b) DAC/ADC quantization on the crossbar simulator: accuracy vs converter
+    resolution for an ideal (variation-free) analog deployment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.evaluation import MonteCarloEvaluator, accuracy
+from repro.hardware import ADC, DAC, analogize
+from repro.utils.tables import format_table
+from repro.variation import (
+    GaussianVariation, LogNormalVariation, StateDependentVariation,
+    StuckAtFaults,
+)
+
+from conftest import PAIRS, SIGMA
+
+KEY = "lenet5-mnist"
+
+
+def test_ablation_variation_models(benchmark, workbench):
+    spec = PAIRS[KEY]
+    model = workbench.lipschitz_model(KEY)
+    _, test = workbench.data(KEY)
+    evaluator = MonteCarloEvaluator(test, n_samples=spec.mc_samples, seed=41)
+    models = [
+        ("log-normal (paper)", LogNormalVariation(SIGMA)),
+        ("gaussian additive", GaussianVariation(SIGMA / 2)),
+        ("state-dependent", StateDependentVariation(SIGMA / 5, SIGMA)),
+        ("stuck-at faults 2%+2%", StuckAtFaults(0.02, 0.02)),
+    ]
+
+    def run():
+        rows = []
+        for name, variation in models:
+            result = evaluator.evaluate(model, variation)
+            rows.append([name, 100 * result.mean, 100 * result.std])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    clean = accuracy(model, test)
+    print(f"\n[Ablation] variation models on {spec.paper_name} "
+          f"(clean={100 * clean:.2f}%)")
+    print(format_table(["variation model", "acc mean %", "acc std %"], rows))
+    for row in rows:
+        assert row[1] <= 100 * clean + 1e-9
+
+
+def test_ablation_converter_resolution(benchmark, workbench):
+    """Crossbar DAC/ADC sweep: inference accuracy of the analog-deployed
+    model vs converter bits. Expected: near-digital accuracy by ~6-8 bits."""
+    import copy
+
+    spec = PAIRS[KEY]
+    model = workbench.lipschitz_model(KEY)
+    _, test = workbench.data(KEY)
+    digital_acc = accuracy(model, test)
+
+    def run():
+        rows = []
+        for bits in (2, 4, 6, 8, None):
+            analog = copy.deepcopy(model)
+            analogize(analog, tile_size=128, dac=DAC(bits), adc=ADC(bits))
+            rows.append([bits if bits is not None else "ideal",
+                         100 * accuracy(analog, test)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n[Ablation] converter resolution on {spec.paper_name} "
+          f"(digital={100 * digital_acc:.2f}%)")
+    print(format_table(["DAC/ADC bits", "analog acc %"], rows))
+
+    accs = [r[1] for r in rows]
+    # Ideal converters reproduce the digital accuracy exactly.
+    assert accs[-1] == pytest.approx(100 * digital_acc, abs=1e-6)
+    # Resolution helps monotonically (allowing small sampling slack).
+    assert accs[-2] >= accs[0] - 2.0

@@ -1,0 +1,62 @@
+"""Figure 2: inference-accuracy degradation of unprotected networks.
+
+Paper series: mean +/- std accuracy vs weight-variation sigma for
+VGG16-Cifar100, VGG16-Cifar10, LeNet5-Cifar10, LeNet5-MNIST. Expected
+shape: monotone-ish degradation with sigma, with the deeper VGG16 and the
+many-class Cifar100 pair collapsing fastest.
+"""
+
+import pytest
+
+from repro.evaluation import MonteCarloEvaluator, accuracy
+from repro.utils.tables import format_table
+from repro.variation import LogNormalVariation
+
+from conftest import PAIRS, SIGMA_GRID
+
+
+@pytest.mark.parametrize("key", list(PAIRS))
+def test_fig2_degradation(benchmark, workbench, key):
+    spec = PAIRS[key]
+    model = workbench.plain_model(key)
+    _, test = workbench.data(key)
+    evaluator = MonteCarloEvaluator(test, n_samples=spec.mc_samples, seed=77)
+
+    def run():
+        rows = [[0.0, 100 * accuracy(model, test), 0.0]]
+        for sigma in SIGMA_GRID:
+            result = evaluator.evaluate(model, LogNormalVariation(sigma))
+            rows.append([sigma, 100 * result.mean, 100 * result.std])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n[Fig 2] {spec.paper_name} (unprotected, log-normal variations)")
+    print(format_table(["sigma", "acc mean %", "acc std %"], rows))
+
+    clean = rows[0][1]
+    at_half = rows[-1][1]
+    assert at_half < clean, "sigma=0.5 must degrade accuracy"
+    # Shape claim: substantial collapse at sigma=0.5 for every pair.
+    assert at_half < 0.85 * clean
+
+
+def test_fig2_depth_effect(workbench, benchmark):
+    """The paper's depth observation: VGG16 (15 layers) loses a larger
+    fraction of its clean accuracy at sigma=0.5 than LeNet-5 (5 layers) on
+    the same dataset."""
+
+    def run():
+        out = {}
+        for key in ("vgg16-cifar10", "lenet5-cifar10"):
+            model = workbench.plain_model(key)
+            _, test = workbench.data(key)
+            clean = accuracy(model, test)
+            ev = MonteCarloEvaluator(test, n_samples=PAIRS[key].mc_samples,
+                                     seed=77)
+            degraded = ev.evaluate(model, LogNormalVariation(0.5)).mean
+            out[key] = degraded / clean
+        return out
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n[Fig 2] retained accuracy fraction at sigma=0.5: {ratios}")
+    assert ratios["vgg16-cifar10"] < ratios["lenet5-cifar10"]

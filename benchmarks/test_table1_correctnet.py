@@ -1,0 +1,71 @@
+"""Table I: the CorrectNet headline results.
+
+Per network-dataset pair: original accuracy (sigma=0), degraded accuracy
+(sigma=0.5), CorrectNet accuracy (sigma=0.5), weight overhead of the
+compensation layers, and the number of compensated layers.
+
+Expected shape (paper): accuracy collapses under variation and CorrectNet
+recovers a large fraction of the original accuracy at a small (<= few %)
+weight overhead using only a few early layers.
+"""
+
+import pytest
+
+from repro.utils.tables import format_table
+
+from conftest import PAIRS
+
+
+@pytest.mark.parametrize("key", list(PAIRS))
+def test_table1_row(benchmark, workbench, key):
+    spec = PAIRS[key]
+
+    def run():
+        return workbench.correctnet_result(key)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    row = result.summary_row()
+    print(f"\n[Table I] {spec.paper_name}")
+    print(format_table(
+        ["orig % (s=0)", "degraded % (s=0.5)", "CorrectNet % (s=0.5)",
+         "overhead %", "#comp layers"],
+        [row],
+    ))
+    print(f"recovery ratio: {result.recovery:.3f} "
+          f"(candidates: {result.candidates}, plan: {result.plan})")
+
+    # Shape assertions (who wins, roughly by how much):
+    assert result.degraded.mean < result.original_accuracy
+    assert result.corrected.mean > result.degraded.mean, (
+        "CorrectNet must improve on the unprotected degraded accuracy"
+    )
+    # Weight overhead stays small (paper: 0.58%..5%).
+    assert result.overhead <= 0.10
+    # Only a subset of layers is compensated.
+    assert len(result.compensated_layers) <= len(result.candidates) or (
+        not result.candidates
+    )
+
+
+def test_table1_recovery_summary(benchmark, workbench):
+    """Aggregate view of all four rows, as the paper's table prints them."""
+
+    def run():
+        return {key: workbench.correctnet_result(key) for key in PAIRS}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for key, result in results.items():
+        rows.append([PAIRS[key].paper_name] + result.summary_row()
+                    + [round(result.recovery, 3)])
+    print("\n[Table I] full summary")
+    print(format_table(
+        ["pair", "orig %", "degraded %", "corrected %", "overhead %",
+         "#layers", "recovery"],
+        rows,
+    ))
+    # At least the LeNet pairs must recover most of their accuracy at this
+    # reduced scale; all pairs must improve substantially.
+    for key, result in results.items():
+        improvement = result.corrected.mean - result.degraded.mean
+        assert improvement > 0.0

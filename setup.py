@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools but not ``wheel``, so PEP-517
+editable installs (which build an editable wheel) fail. Keeping a
+``setup.py`` lets ``pip install -e .`` use the legacy ``setup.py develop``
+path. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

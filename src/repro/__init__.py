@@ -1,0 +1,39 @@
+"""CorrectNet reproduction: robustness enhancement of analog in-memory
+computing for neural networks by error suppression and compensation.
+
+Reproduces Eldebiky et al., DATE 2023 (arXiv:2211.14917) on a from-scratch
+numpy deep-learning substrate with an RRAM crossbar simulator.
+
+Public surface
+--------------
+- ``repro.autograd`` / ``repro.nn`` / ``repro.optim`` — the training substrate.
+- ``repro.data`` — synthetic MNIST/CIFAR-like datasets and loaders.
+- ``repro.variation`` — weight-variation models (log-normal of eq. 1-2, ...).
+- ``repro.hardware`` — RRAM crossbar simulator and analog layers.
+- ``repro.lipschitz`` — error suppression (spectral-norm regularization).
+- ``repro.compensation`` — error compensation generators/compensators.
+- ``repro.rl`` — REINFORCE search for compensation placement.
+- ``repro.evaluation`` — Monte-Carlo accuracy evaluation under variations.
+- ``repro.baselines`` — reimplementations of the compared methods.
+- ``repro.models`` — LeNet-5 / VGG model zoo.
+- ``repro.core`` — the end-to-end CorrectNet pipeline.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "autograd",
+    "nn",
+    "optim",
+    "data",
+    "variation",
+    "hardware",
+    "lipschitz",
+    "compensation",
+    "rl",
+    "evaluation",
+    "baselines",
+    "models",
+    "core",
+    "utils",
+]

@@ -1,0 +1,33 @@
+"""A from-scratch reverse-mode automatic differentiation engine on numpy.
+
+This is the substrate that replaces PyTorch in this offline reproduction:
+:class:`Tensor` wraps a numpy array and records a tape of operations;
+:meth:`Tensor.backward` walks the tape in reverse topological order and
+accumulates gradients. All neural-network layers (``repro.nn``), the
+Lipschitz regularizer, the compensation trainer and the RL policy are built
+on top of it.
+
+Design notes
+------------
+* Broadcasting-aware: every binary op un-broadcasts gradients back to the
+  operand shapes.
+* Convolutions and pooling are implemented with im2col/col2im
+  (`repro.autograd.im2col`) so they vectorise to matmuls.
+* Gradients of every op are verified against central differences in
+  ``tests/test_autograd_gradcheck.py`` via :func:`gradcheck`.
+"""
+
+from repro.autograd.context import is_grad_enabled, no_grad
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.autograd import functional
+from repro.autograd.gradcheck import gradcheck, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "functional",
+    "no_grad",
+    "is_grad_enabled",
+    "gradcheck",
+    "numerical_gradient",
+]

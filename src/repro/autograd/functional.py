@@ -1,0 +1,260 @@
+"""Differentiable neural-network primitives built on :class:`Tensor`.
+
+Convolution, pooling, softmax/log-softmax, cross-entropy and one-hot
+helpers. These are the functional forms; ``repro.nn`` wraps them in
+stateful modules.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.autograd.im2col import col2im, conv_output_size, im2col
+from repro.autograd.tensor import Tensor, as_tensor
+
+KernelLike = Union[int, Tuple[int, int]]
+
+
+def _pair(value: KernelLike) -> Tuple[int, int]:
+    if isinstance(value, int):
+        return (value, value)
+    kh, kw = value
+    return (int(kh), int(kw))
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2-D cross-correlation of ``x`` (N,C,H,W) with ``weight`` (F,C,KH,KW).
+
+    Implemented as an im2col lowering: both forward and backward reduce to
+    matrix products, which is what makes numpy training of the VGG-style
+    models feasible.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    n, c, h, w = x.shape
+    f, wc, kh, kw = weight.shape
+    if wc != c:
+        raise ValueError(f"weight expects {wc} input channels, input has {c}")
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+
+    cols = im2col(x.data, (kh, kw), stride, padding)  # (N, C*KH*KW, OH*OW)
+    w2 = weight.data.reshape(f, -1)  # (F, C*KH*KW)
+    out_data = np.einsum("fk,nkp->nfp", w2, cols).reshape(n, f, oh, ow)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, f, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    requires = any(p.requires_grad for p in parents)
+    out = Tensor(out_data, requires_grad=requires, _parents=parents, _op="conv2d")
+
+    def _backward() -> None:
+        grad = out.grad.reshape(n, f, oh * ow)  # (N, F, P)
+        if weight.requires_grad:
+            gw = np.einsum("nfp,nkp->fk", grad, cols).reshape(weight.shape)
+            weight._accumulate(gw)
+        if x.requires_grad:
+            gcols = np.einsum("fk,nfp->nkp", w2, grad)
+            gx = col2im(gcols, (n, c, h, w), (kh, kw), stride, padding)
+            x._accumulate(gx)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(out.grad.sum(axis=(0, 2, 3)))
+
+    out._backward = _backward
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel: KernelLike, stride: Optional[int] = None) -> Tensor:
+    """Average pooling over non-overlapping (or strided) windows."""
+    x = as_tensor(x)
+    kh, kw = _pair(kernel)
+    stride = stride or kh
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kh, stride, 0)
+    ow = conv_output_size(w, kw, stride, 0)
+    cols = im2col(x.data, (kh, kw), stride, 0).reshape(n, c, kh * kw, oh * ow)
+    out_data = cols.mean(axis=2).reshape(n, c, oh, ow)
+    out = Tensor(
+        out_data, requires_grad=x.requires_grad, _parents=(x,), _op="avg_pool2d"
+    )
+
+    def _backward() -> None:
+        grad = out.grad.reshape(n, c, 1, oh * ow) / (kh * kw)
+        gcols = np.broadcast_to(grad, (n, c, kh * kw, oh * ow)).reshape(
+            n, c * kh * kw, oh * ow
+        )
+        x._accumulate(col2im(gcols, (n, c, h, w), (kh, kw), stride, 0))
+
+    out._backward = _backward
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: KernelLike, stride: Optional[int] = None) -> Tensor:
+    """Max pooling; the gradient routes to the arg-max element per window."""
+    x = as_tensor(x)
+    kh, kw = _pair(kernel)
+    stride = stride or kh
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kh, stride, 0)
+    ow = conv_output_size(w, kw, stride, 0)
+    cols = im2col(x.data, (kh, kw), stride, 0).reshape(n, c, kh * kw, oh * ow)
+    argmax = cols.argmax(axis=2)  # (N, C, P)
+    out_data = np.take_along_axis(cols, argmax[:, :, None, :], axis=2).reshape(
+        n, c, oh, ow
+    )
+    out = Tensor(
+        out_data, requires_grad=x.requires_grad, _parents=(x,), _op="max_pool2d"
+    )
+
+    def _backward() -> None:
+        gcols = np.zeros((n, c, kh * kw, oh * ow), dtype=np.float64)
+        np.put_along_axis(
+            gcols, argmax[:, :, None, :], out.grad.reshape(n, c, 1, oh * ow), axis=2
+        )
+        x._accumulate(
+            col2im(gcols.reshape(n, c * kh * kw, oh * ow), (n, c, h, w), (kh, kw), stride, 0)
+        )
+
+    out._backward = _backward
+    return out
+
+
+def _pool_matrix(in_size: int, out_size: int) -> np.ndarray:
+    """(out_size, in_size) averaging matrix for adaptive pooling: output cell
+    ``i`` averages input rows [floor(i*H/OH), ceil((i+1)*H/OH))."""
+    mat = np.zeros((out_size, in_size))
+    for i in range(out_size):
+        start = (i * in_size) // out_size
+        stop = -(-((i + 1) * in_size) // out_size)  # ceil division
+        mat[i, start:stop] = 1.0 / (stop - start)
+    return mat
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: Tuple[int, int]) -> Tensor:
+    """Average-pool (N, C, H, W) to an arbitrary (OH, OW).
+
+    CorrectNet's generator concatenates a layer's input and output feature
+    maps (paper Fig. 5); their spatial sizes generally differ (stride,
+    valid-padding), so the input maps are adaptively average-pooled to the
+    output size. Implemented as two separable averaging matrices, making
+    both passes einsums.
+    """
+    x = as_tensor(x)
+    n, c, h, w = x.shape
+    oh, ow = int(output_size[0]), int(output_size[1])
+    if oh <= 0 or ow <= 0:
+        raise ValueError(f"output size must be positive, got {(oh, ow)}")
+    if oh > h or ow > w:
+        raise ValueError(
+            f"adaptive pooling cannot upsample: input {(h, w)}, output {(oh, ow)}"
+        )
+    ph = _pool_matrix(h, oh)  # (OH, H)
+    pw = _pool_matrix(w, ow)  # (OW, W)
+    out_data = np.einsum("ih,nchw,jw->ncij", ph, x.data, pw)
+    out = Tensor(
+        out_data, requires_grad=x.requires_grad, _parents=(x,), _op="adaptive_avg_pool"
+    )
+
+    def _backward() -> None:
+        x._accumulate(np.einsum("ih,ncij,jw->nchw", ph, out.grad, pw))
+
+    out._backward = _backward
+    return out
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    prob = exp / exp.sum(axis=axis, keepdims=True)
+    out = Tensor(prob, requires_grad=x.requires_grad, _parents=(x,), _op="softmax")
+
+    def _backward() -> None:
+        g = out.grad
+        dot = (g * prob).sum(axis=axis, keepdims=True)
+        x._accumulate(prob * (g - dot))
+
+    out._backward = _backward
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """log(softmax(x)) computed stably via the log-sum-exp trick."""
+    x = as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    logp = shifted - lse
+    out = Tensor(logp, requires_grad=x.requires_grad, _parents=(x,), _op="log_softmax")
+    prob = np.exp(logp)
+
+    def _backward() -> None:
+        g = out.grad
+        x._accumulate(g - prob * g.sum(axis=axis, keepdims=True))
+
+    out._backward = _backward
+    return out
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer class labels -> one-hot float matrix (plain numpy, no grad)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.min(initial=0) < 0 or labels.max(initial=0) >= num_classes:
+        raise ValueError("labels out of range for num_classes")
+    out = np.zeros((labels.size, num_classes), dtype=np.float64)
+    out[np.arange(labels.size), labels] = 1.0
+    return out
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, K) and integer ``labels``.
+
+    Combines log-softmax and negative log-likelihood in one op for both
+    numerical stability and a cheap fused backward (``softmax - onehot``).
+    """
+    logits = as_tensor(logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    n, k = logits.shape
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    logp = shifted - lse
+    nll = -logp[np.arange(n), labels].mean()
+    out = Tensor(
+        nll, requires_grad=logits.requires_grad, _parents=(logits,), _op="cross_entropy"
+    )
+
+    def _backward() -> None:
+        grad = np.exp(logp)
+        grad[np.arange(n), labels] -= 1.0
+        logits._accumulate(out.grad * grad / n)
+
+    out._backward = _backward
+    return out
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` with ``weight`` shaped (out, in)."""
+    out = x.matmul(weight.T)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout: scales kept activations by 1/(1-p) at train time."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)

@@ -1,0 +1,27 @@
+"""Reimplementations of the methods CorrectNet is compared against (Fig. 8).
+
+- :class:`ImportantWeightProtection` — [8]-style (Charan et al., DAC'20):
+  replicate the most important (largest-magnitude) weights into reliable
+  SRAM; optionally adapt them online per manufactured chip.
+- :class:`RandomSparseAdaptation` — [9] (Mohanty et al., IEDM'17): map a
+  *random* sparse subset of weights to on-chip memory and retrain that
+  subset.
+- :class:`StatisticalTraining` — [11]-style (Long et al., DATE'19):
+  variation-aware training that samples device variations every batch; no
+  protected weights, zero overhead.
+
+All report the same (overhead, accuracy-under-variation) operating points
+the paper plots, via the shared :class:`MonteCarloEvaluator` protocol.
+"""
+
+from repro.baselines.protection import ImportantWeightProtection
+from repro.baselines.rsa import RandomSparseAdaptation
+from repro.baselines.statistical import StatisticalTraining
+from repro.baselines.common import BaselineResult
+
+__all__ = [
+    "ImportantWeightProtection",
+    "RandomSparseAdaptation",
+    "StatisticalTraining",
+    "BaselineResult",
+]

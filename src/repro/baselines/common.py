@@ -1,0 +1,64 @@
+"""Shared result record and helpers for baseline methods."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.variation.injector import weighted_layers
+
+
+@dataclass
+class BaselineResult:
+    """One (overhead, accuracy) operating point for Fig. 8."""
+
+    method: str
+    overhead: float
+    accuracy_mean: float
+    accuracy_std: float
+    online_retraining: bool = False
+
+
+def magnitude_masks(model: Module, fraction: float) -> Dict[str, np.ndarray]:
+    """Protection masks selecting the top-``fraction`` weights by |value|.
+
+    The threshold is global across layers, mirroring [8]'s "most important
+    weights" selection (importance proxied by magnitude).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    entries = []
+    for name, layer in weighted_layers(model):
+        w = layer._parameters["weight"].data
+        entries.append((f"{name}.weight", np.abs(w)))
+    all_magnitudes = np.concatenate([m.reshape(-1) for _, m in entries])
+    if fraction == 0.0:
+        return {name: np.zeros_like(m, dtype=bool) for name, m in entries}
+    k = max(1, int(round(fraction * all_magnitudes.size)))
+    threshold = np.partition(all_magnitudes, -k)[-k]
+    return {name: m >= threshold for name, m in entries}
+
+
+def random_masks(
+    model: Module, fraction: float, rng: np.random.Generator
+) -> Dict[str, np.ndarray]:
+    """Protection masks selecting a uniformly random ``fraction`` of weights
+    per layer ([9]'s random sparse set)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    masks = {}
+    for name, layer in weighted_layers(model):
+        w = layer._parameters["weight"].data
+        masks[f"{name}.weight"] = rng.random(w.shape) < fraction
+    return masks
+
+
+def masks_overhead(model: Module, masks: Dict[str, np.ndarray]) -> float:
+    """Protected-weight fraction relative to total model parameters — the
+    overhead axis the paper plots for the protection baselines."""
+    protected = sum(int(m.sum()) for m in masks.values())
+    total = model.num_parameters()
+    return protected / total if total else 0.0

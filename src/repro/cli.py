@@ -1,0 +1,132 @@
+"""Command-line entry points.
+
+``correctnet-train`` — train a model (optionally Lipschitz-regularized) and
+save it; ``correctnet-eval`` — Monte-Carlo evaluate a saved model under
+variations; ``correctnet-search`` — run the full CorrectNet pipeline and
+print the Table-I style row.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import fast_pipeline_config
+from repro.core.pipeline import CorrectNet
+from repro.core.training import Trainer
+from repro.data import synth_cifar10, synth_cifar100, synth_mnist
+from repro.evaluation.metrics import accuracy
+from repro.evaluation.montecarlo import MonteCarloEvaluator
+from repro.lipschitz.bounds import lambda_bound
+from repro.lipschitz.regularizer import OrthogonalityRegularizer
+from repro.models.registry import build_model
+from repro.optim.optimizers import Adam
+from repro.utils.logging import set_verbosity
+from repro.utils.tables import format_table
+from repro.variation.models import LogNormalVariation
+
+_DATASETS = {
+    "synth_mnist": synth_mnist,
+    "synth_cifar10": synth_cifar10,
+    "synth_cifar100": synth_cifar100,
+}
+
+
+def _load_data(name: str):
+    if name not in _DATASETS:
+        raise SystemExit(f"unknown dataset {name!r}; choose from {list(_DATASETS)}")
+    return _DATASETS[name]()
+
+
+def _common_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="lenet5", help="lenet5|vgg16|vgg11|mlp")
+    parser.add_argument("--dataset", default="synth_mnist", help=f"{list(_DATASETS)}")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--verbose", action="store_true")
+
+
+def train_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Train a model, optionally with Lipschitz regularization")
+    _common_args(parser)
+    parser.add_argument("--epochs", type=int, default=10)
+    parser.add_argument("--batch-size", type=int, default=32)
+    parser.add_argument("--lr", type=float, default=1e-3)
+    parser.add_argument("--sigma", type=float, default=0.0, help="if > 0, apply Lipschitz regularization sized for this sigma")
+    parser.add_argument("--beta", type=float, default=1e-3)
+    parser.add_argument("--save", default=None, help="path for the .npz checkpoint")
+    args = parser.parse_args(argv)
+    if args.verbose:
+        set_verbosity()
+
+    train, test = _load_data(args.dataset)
+    model = build_model(args.model, train, seed=args.seed)
+    regularizer = None
+    if args.sigma > 0:
+        regularizer = OrthogonalityRegularizer(lambda_bound(args.sigma), beta=args.beta)
+    trainer = Trainer(
+        model,
+        Adam(list(model.parameters()), lr=args.lr),
+        regularizer=regularizer,
+        grad_clip=5.0,
+        seed=args.seed,
+    )
+    history = trainer.fit(
+        train, epochs=args.epochs, batch_size=args.batch_size, val_data=test
+    )
+    print(f"final val accuracy: {history.final_val_accuracy:.4f}")
+    if args.save:
+        model.save(args.save)
+        print(f"saved checkpoint to {args.save}")
+    return 0
+
+
+def eval_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Monte-Carlo evaluate a checkpoint under weight variations")
+    _common_args(parser)
+    parser.add_argument("--checkpoint", required=True)
+    parser.add_argument("--sigma", type=float, default=0.5)
+    parser.add_argument("--samples", type=int, default=50)
+    args = parser.parse_args(argv)
+    if args.verbose:
+        set_verbosity()
+
+    train, test = _load_data(args.dataset)
+    model = build_model(args.model, train, seed=args.seed)
+    model.load(args.checkpoint)
+    clean = accuracy(model, test)
+    evaluator = MonteCarloEvaluator(test, n_samples=args.samples)
+    result = evaluator.evaluate(model, LogNormalVariation(args.sigma))
+    print(
+        format_table(
+            ["sigma", "clean acc %", "mean acc %", "std %"],
+            [[args.sigma, 100 * clean, 100 * result.mean, 100 * result.std]],
+        )
+    )
+    return 0
+
+
+def search_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Run the full CorrectNet pipeline (suppression + RL-compensation)")
+    _common_args(parser)
+    parser.add_argument("--sigma", type=float, default=0.5)
+    args = parser.parse_args(argv)
+    if args.verbose:
+        set_verbosity()
+
+    train, test = _load_data(args.dataset)
+    model = build_model(args.model, train, seed=args.seed)
+    config = fast_pipeline_config(sigma=args.sigma, seed=args.seed)
+    result = CorrectNet(model, train, test, config).run()
+    print(
+        format_table(
+            ["orig %", "degraded %", "corrected %", "overhead %", "#layers"],
+            [result.summary_row()],
+        )
+    )
+    print(f"recovery ratio: {result.recovery:.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(train_main())

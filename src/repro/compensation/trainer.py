@@ -1,0 +1,90 @@
+"""Training the generators and compensators (paper Section III-B).
+
+"When training the weights in the generators and compensators ... the
+weights in the original layers are fixed to the values after applying
+Lipschitz constant regularization and stay non-trainable ... variations are
+sampled statistically and applied to the corresponding weight values in the
+original layer during each training batch."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.training import Trainer, TrainHistory
+from repro.compensation.wrappers import is_compensated
+from repro.data.dataset import ArrayDataset
+from repro.nn.module import Module, Parameter
+from repro.optim.optimizers import Adam
+from repro.utils.rng import SeedLike
+from repro.variation.models import VariationModel
+
+
+class CompensationTrainer:
+    """Freeze the original network, train only compensation parameters.
+
+    Parameters
+    ----------
+    model:
+        A compensated model (output of :meth:`CompensationPlan.apply`).
+    variation:
+        The variation model sampled per batch onto the (frozen) original
+        weights during training — compensation must learn to fix *sampled*
+        errors, not one fixed error.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        variation: VariationModel,
+        lr: float = 1e-3,
+        grad_clip: Optional[float] = 5.0,
+        seed: SeedLike = 0,
+    ) -> None:
+        self.model = model
+        trainable = self._freeze_non_compensation(model)
+        if not trainable:
+            raise ValueError(
+                "model has no compensation parameters to train "
+                "(apply a CompensationPlan first)"
+            )
+        self.trainer = Trainer(
+            model,
+            Adam(trainable, lr=lr),
+            variation=variation,
+            grad_clip=grad_clip,
+            seed=seed,
+        )
+
+    @staticmethod
+    def _freeze_non_compensation(model: Module) -> list:
+        """Freeze everything except generator/compensator parameters.
+
+        Returns the list of trainable (compensation) parameters.
+        """
+        digital_params = set()
+        for module in model.modules():
+            if is_compensated(module):
+                for p in module.generator.parameters():
+                    digital_params.add(id(p))
+                for p in module.compensator.parameters():
+                    digital_params.add(id(p))
+        trainable = []
+        for param in model.parameters():
+            if id(param) in digital_params:
+                param.unfreeze()
+                trainable.append(param)
+            else:
+                param.freeze()
+        return trainable
+
+    def fit(
+        self,
+        train_data: ArrayDataset,
+        epochs: int,
+        batch_size: int = 32,
+        val_data: Optional[ArrayDataset] = None,
+    ) -> TrainHistory:
+        return self.trainer.fit(
+            train_data, epochs=epochs, batch_size=batch_size, val_data=val_data
+        )

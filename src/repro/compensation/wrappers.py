@@ -1,0 +1,141 @@
+"""Compensated layer wrappers: original layer + generator + compensator.
+
+Faithful to paper Fig. 5:
+
+- generator: ``m`` filters of shape 1x1x(l+n) applied to
+  ``concat([avg_pool(input), output])`` — average pooling adapts the input
+  feature maps to the output's spatial size;
+- compensator: ``n`` filters of shape 1x1x(n+m) applied to
+  ``concat([output, compensation_data])``, producing the same number of
+  feature maps as the original layer so the wrapper is a drop-in.
+
+The generator and compensator convolutions carry ``digital = True``:
+the paper executes them on digital circuits, so variation injection and
+analog mapping skip them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, functional as F
+from repro.autograd.tensor import concatenate
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module
+from repro.utils.rng import new_rng, SeedLike
+
+
+def _mark_digital(module: Module) -> Module:
+    module.digital = True
+    return module
+
+
+class CompensatedConv2d(Module):
+    """A convolutional layer wrapped with error compensation.
+
+    Parameters
+    ----------
+    original:
+        The trained :class:`Conv2d` to protect. Its weights are typically
+        frozen before compensation training.
+    m:
+        Number of generator filters (the paper's per-layer knob; the RL
+        agent chooses it as a ratio of the original filter count).
+    """
+
+    def __init__(self, original: Conv2d, m: int, seed: SeedLike = None) -> None:
+        super().__init__()
+        if m <= 0:
+            raise ValueError(f"generator filter count m must be positive, got {m}")
+        rng = new_rng(seed)
+        l = original.in_channels
+        n = original.out_channels
+        self.m = m
+        self.original = original
+        self.generator = _mark_digital(
+            Conv2d(l + n, m, 1, seed=int(rng.integers(2**31)))
+        )
+        self.compensator = _mark_digital(
+            Conv2d(n + m, n, 1, seed=int(rng.integers(2**31)))
+        )
+        # Start as identity-plus-correction: the compensator initially
+        # passes the original output through unchanged, so an untrained
+        # wrapper does not hurt nominal accuracy.
+        with_identity = np.zeros_like(self.compensator.weight.data)
+        for i in range(n):
+            with_identity[i, i, 0, 0] = 1.0
+        self.compensator.weight.data = (
+            0.1 * self.compensator.weight.data + with_identity
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        y = self.original(x)
+        pooled = F.adaptive_avg_pool2d(x, y.shape[2:])
+        compensation = self.generator(concatenate([pooled, y], axis=1))
+        return self.compensator(concatenate([y, compensation], axis=1))
+
+    def compensation_parameters(self) -> int:
+        """Weight + bias count of the digital compensation path (the
+        numerator of the paper's overhead metric)."""
+        return sum(
+            p.size for p in self.generator.parameters()
+        ) + sum(p.size for p in self.compensator.parameters())
+
+    def extra_repr(self) -> str:
+        return f"m={self.m}"
+
+
+class CompensatedLinear(Module):
+    """Error compensation for a fully-connected layer.
+
+    The 1x1-convolution construction degenerates naturally: the generator
+    is a linear map from ``concat([x, y])`` (l+n features) to ``m``
+    features, the compensator from ``concat([y, g])`` to ``n``.
+    """
+
+    def __init__(self, original: Linear, m: int, seed: SeedLike = None) -> None:
+        super().__init__()
+        if m <= 0:
+            raise ValueError(f"generator unit count m must be positive, got {m}")
+        rng = new_rng(seed)
+        l = original.in_features
+        n = original.out_features
+        self.m = m
+        self.original = original
+        self.generator = _mark_digital(
+            Linear(l + n, m, seed=int(rng.integers(2**31)))
+        )
+        self.compensator = _mark_digital(
+            Linear(n + m, n, seed=int(rng.integers(2**31)))
+        )
+        with_identity = np.zeros_like(self.compensator.weight.data)
+        with_identity[:n, :n] = np.eye(n)
+        self.compensator.weight.data = (
+            0.1 * self.compensator.weight.data + with_identity
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        y = self.original(x)
+        compensation = self.generator(concatenate([x, y], axis=1))
+        return self.compensator(concatenate([y, compensation], axis=1))
+
+    def compensation_parameters(self) -> int:
+        return sum(
+            p.size for p in self.generator.parameters()
+        ) + sum(p.size for p in self.compensator.parameters())
+
+    def extra_repr(self) -> str:
+        return f"m={self.m}"
+
+
+def is_compensated(module: Module) -> bool:
+    return isinstance(module, (CompensatedConv2d, CompensatedLinear))
+
+
+def compensation_parameter_count(model: Module) -> int:
+    """Total digital compensation parameters in ``model``."""
+    total = 0
+    for module in model.modules():
+        if is_compensated(module):
+            total += module.compensation_parameters()
+    return total

@@ -1,0 +1,32 @@
+"""End-to-end CorrectNet pipeline and shared training infrastructure."""
+
+from repro.core.training import Trainer, TrainHistory
+from repro.core.config import (
+    CompensationConfig,
+    PipelineConfig,
+    RLConfig,
+    TrainConfig,
+    fast_pipeline_config,
+)
+
+
+def __getattr__(name: str):
+    # Imported lazily: pipeline pulls in repro.compensation, whose trainer
+    # imports repro.core.training — a cycle if resolved at package import.
+    if name in ("CorrectNet", "CorrectNetResult"):
+        from repro.core import pipeline
+
+        return getattr(pipeline, name)
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+
+__all__ = [
+    "Trainer",
+    "TrainHistory",
+    "TrainConfig",
+    "CompensationConfig",
+    "RLConfig",
+    "PipelineConfig",
+    "fast_pipeline_config",
+    "CorrectNet",
+    "CorrectNetResult",
+]

@@ -1,0 +1,270 @@
+"""The end-to-end CorrectNet flow (paper Sections III + IV).
+
+Stage order follows the paper exactly:
+
+1. **Error suppression** — train the network with the modified Lipschitz
+   regularization (eq. 10-11, ``k = 1``, ``lambda = lambda_bound(sigma)``).
+2. **Candidate selection** — inject variations from layer ``i`` to the last
+   layer, backwards, until accuracy falls below 95% of the original; the
+   first ``i`` layers become compensation candidates (Fig. 9's criterion).
+3. **RL search** — REINFORCE over compensation plans under each overhead
+   limit (1%, 2%, 3%), reward per eq. (12); the best-accuracy solution
+   across limits is selected (paper Section III-B, last paragraph).
+4. **Compensation training** — generators/compensators trained with
+   variations sampled per batch, originals frozen.
+5. **Final evaluation** — full Monte-Carlo protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.compensation.plan import CompensationPlan, plan_overhead
+from repro.compensation.trainer import CompensationTrainer
+from repro.core.config import PipelineConfig
+from repro.core.training import Trainer, TrainHistory
+from repro.data.dataset import ArrayDataset
+from repro.evaluation.layer_sweep import select_candidates
+from repro.evaluation.metrics import accuracy, recovery_ratio
+from repro.evaluation.montecarlo import MCResult, MonteCarloEvaluator
+from repro.lipschitz.bounds import lambda_bound
+from repro.lipschitz.regularizer import OrthogonalityRegularizer
+from repro.nn.module import Module
+from repro.optim.optimizers import Adam
+from repro.rl.env import CompensationEnv
+from repro.rl.search import RLSearch, SearchResult
+from repro.utils.logging import get_logger
+from repro.variation.models import LogNormalVariation, VariationModel
+
+logger = get_logger("core.pipeline")
+
+
+@dataclass
+class CorrectNetResult:
+    """One Table-I row plus the artifacts that produced it."""
+
+    original_accuracy: float
+    degraded: MCResult
+    corrected: MCResult
+    overhead: float
+    compensated_layers: List[int]
+    candidates: List[int]
+    plan: CompensationPlan
+    model: Module
+    base_history: Optional[TrainHistory] = None
+    search_results: Dict[float, SearchResult] = field(default_factory=dict)
+
+    @property
+    def recovery(self) -> float:
+        """Corrected accuracy relative to the variation-free original."""
+        return recovery_ratio(self.corrected.mean, self.original_accuracy)
+
+    def summary_row(self) -> List:
+        """[orig%, degraded%, corrected%, overhead%, #layers] as Table I."""
+        return [
+            100.0 * self.original_accuracy,
+            100.0 * self.degraded.mean,
+            100.0 * self.corrected.mean,
+            100.0 * self.overhead,
+            len(self.compensated_layers),
+        ]
+
+    def as_dict(self) -> Dict:
+        """JSON-serializable summary (for ResultStore / EXPERIMENTS.md)."""
+        return {
+            "original_accuracy": self.original_accuracy,
+            "degraded_mean": self.degraded.mean,
+            "degraded_std": self.degraded.std,
+            "corrected_mean": self.corrected.mean,
+            "corrected_std": self.corrected.std,
+            "overhead": self.overhead,
+            "compensated_layers": list(self.compensated_layers),
+            "candidates": list(self.candidates),
+            "plan": {int(k): float(v) for k, v in self.plan.ratios.items()},
+            "recovery": self.recovery,
+        }
+
+
+class CorrectNet:
+    """Drive the full error-suppression + error-compensation flow.
+
+    Parameters
+    ----------
+    model:
+        An *untrained* model from ``repro.models`` (flat ``net``
+        Sequential).
+    train_data, test_data:
+        Dataset splits; candidate selection and RL search evaluate on
+        ``test_data``.
+    config:
+        A :class:`PipelineConfig`; ``fast_pipeline_config()`` for CI scale.
+    variation:
+        Variation model at the target magnitude. Defaults to the paper's
+        ``LogNormalVariation(config.sigma)``.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        train_data: ArrayDataset,
+        test_data: ArrayDataset,
+        config: PipelineConfig,
+        variation: Optional[VariationModel] = None,
+    ) -> None:
+        self.model = model
+        self.train_data = train_data
+        self.test_data = test_data
+        self.config = config
+        self.variation = variation or LogNormalVariation(config.sigma)
+        self.lam = lambda_bound(self.variation.magnitude, k=config.train.k)
+        self.regularizer = OrthogonalityRegularizer(
+            self.lam, beta=config.train.beta
+        )
+
+    # ------------------------------------------------------------------
+    # Stage 1: error suppression
+    # ------------------------------------------------------------------
+    def fit_base(self) -> TrainHistory:
+        """Train ``model`` with the Lipschitz regularization of eq. (11)."""
+        cfg = self.config.train
+        trainer = Trainer(
+            self.model,
+            Adam(list(self.model.parameters()), lr=cfg.lr),
+            regularizer=self.regularizer,
+            grad_clip=cfg.grad_clip,
+            seed=cfg.seed,
+        )
+        history = trainer.fit(
+            self.train_data,
+            epochs=cfg.epochs,
+            batch_size=cfg.batch_size,
+            val_data=self.test_data,
+        )
+        logger.info(
+            "base training done: val accuracy %.4f, lambda %.4f",
+            history.final_val_accuracy,
+            self.lam,
+        )
+        return history
+
+    # ------------------------------------------------------------------
+    # Stage 2: candidate selection
+    # ------------------------------------------------------------------
+    def find_candidates(self, original_accuracy: float) -> List[int]:
+        evaluator = MonteCarloEvaluator(
+            self.test_data,
+            n_samples=self.config.eval.search_samples,
+            seed=self.config.eval.seed,
+        )
+        candidates = select_candidates(
+            self.model,
+            self.variation,
+            evaluator,
+            original_accuracy,
+            threshold=self.config.eval.candidate_threshold,
+            max_candidates=self.config.eval.max_candidates,
+        )
+        logger.info("compensation candidates: %s", candidates)
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Stage 3: RL search
+    # ------------------------------------------------------------------
+    def search(self, candidates: List[int]) -> Dict[float, SearchResult]:
+        """One REINFORCE search per overhead limit; returns all of them."""
+        results: Dict[float, SearchResult] = {}
+        for limit in self.config.rl.overhead_limits:
+            env = CompensationEnv(
+                self.model,
+                candidates,
+                self.variation,
+                self.train_data,
+                self.test_data,
+                self.config.compensation,
+                self.config.eval,
+                overhead_limit=limit,
+            )
+            search = RLSearch(env, self.config.rl)
+            results[limit] = search.run()
+            logger.info(
+                "limit %.0f%%: best reward %.4f acc %.4f overhead %.4f",
+                100 * limit,
+                results[limit].best.reward,
+                results[limit].best.accuracy_mean,
+                results[limit].best.overhead,
+            )
+        return results
+
+    @staticmethod
+    def _pick_best(results: Dict[float, SearchResult]):
+        """Best non-skipped outcome by accuracy across limits (the paper
+        selects 'the solution that generates the best accuracy')."""
+        outcomes = [r.best for r in results.values() if not r.best.skipped]
+        if not outcomes:
+            outcomes = [r.best for r in results.values()]
+        return max(outcomes, key=lambda o: o.accuracy_mean)
+
+    # ------------------------------------------------------------------
+    # Stage 4 + 5: final compensation training and evaluation
+    # ------------------------------------------------------------------
+    def finalize(self, plan: CompensationPlan) -> Module:
+        """Re-train the chosen plan's compensation (fresh, full epochs)."""
+        compensated = plan.apply(self.model, seed=self.config.compensation.seed)
+        if plan.num_compensated > 0:
+            trainer = CompensationTrainer(
+                compensated,
+                self.variation,
+                lr=self.config.compensation.lr,
+                seed=self.config.compensation.seed,
+            )
+            trainer.fit(
+                self.train_data,
+                epochs=self.config.compensation.epochs,
+                batch_size=self.config.compensation.batch_size,
+            )
+        return compensated
+
+    def run(self, skip_base_training: bool = False) -> CorrectNetResult:
+        """Execute the full pipeline and return the Table-I artifacts."""
+        history = None if skip_base_training else self.fit_base()
+        original_accuracy = accuracy(self.model, self.test_data)
+
+        final_evaluator = MonteCarloEvaluator(
+            self.test_data,
+            n_samples=self.config.eval.n_samples,
+            seed=self.config.eval.seed,
+        )
+        degraded = final_evaluator.evaluate(self.model, self.variation)
+        logger.info(
+            "original %.4f | degraded %.4f±%.4f",
+            original_accuracy,
+            degraded.mean,
+            degraded.std,
+        )
+
+        candidates = self.find_candidates(original_accuracy)
+        if candidates:
+            search_results = self.search(candidates)
+            best = self._pick_best(search_results)
+            plan = best.plan
+        else:
+            search_results = {}
+            plan = CompensationPlan()
+
+        corrected_model = self.finalize(plan)
+        corrected = final_evaluator.evaluate(corrected_model, self.variation)
+        overhead = plan_overhead(self.model, corrected_model)
+
+        return CorrectNetResult(
+            original_accuracy=original_accuracy,
+            degraded=degraded,
+            corrected=corrected,
+            overhead=overhead,
+            compensated_layers=plan.active_layers(),
+            candidates=candidates,
+            plan=plan,
+            model=corrected_model,
+            base_history=history,
+            search_results=search_results,
+        )

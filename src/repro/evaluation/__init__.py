@@ -1,0 +1,34 @@
+"""Evaluation under variations: Monte-Carlo accuracy, layer sweeps, tracing.
+
+The paper evaluates every configuration by sampling the weight-variation
+model 250 times and reporting mean and standard deviation of inference
+accuracy; :class:`MonteCarloEvaluator` reproduces that protocol.
+:func:`layer_sweep` reproduces Fig. 9's "variations from layer i to the
+last layer" experiment, from which :func:`select_candidates` derives the
+compensation-candidate prefix. :class:`ErrorPropagationTracer` measures the
+per-layer feature deviations that motivate error suppression (Fig. 4).
+"""
+
+from repro.evaluation.metrics import accuracy, recovery_ratio
+from repro.evaluation.montecarlo import MCResult, MonteCarloEvaluator
+from repro.evaluation.layer_sweep import layer_sweep, select_candidates
+from repro.evaluation.tracer import ErrorPropagationTracer, LayerDeviation
+from repro.evaluation.margins import (
+    MarginReport,
+    logit_shift_under_variation,
+    margin_report,
+)
+
+__all__ = [
+    "accuracy",
+    "recovery_ratio",
+    "MonteCarloEvaluator",
+    "MCResult",
+    "layer_sweep",
+    "select_candidates",
+    "ErrorPropagationTracer",
+    "LayerDeviation",
+    "MarginReport",
+    "margin_report",
+    "logit_shift_under_variation",
+]

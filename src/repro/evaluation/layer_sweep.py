@@ -1,0 +1,70 @@
+"""Layer-wise variation sweeps and compensation-candidate selection.
+
+Fig. 9 of the paper: after Lipschitz training, inject variations only into
+layers ``i .. L`` and measure accuracy as ``i`` decreases. Lipschitz
+regularization absorbs late-layer variations, but accuracy collapses once
+early layers are included — those early layers become the candidates for
+error compensation ("the first i layers when the variations in the i-th
+layer to the last layer lead to an inference accuracy lower than 95% of the
+original accuracy").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.evaluation.montecarlo import MCResult, MonteCarloEvaluator
+from repro.nn.module import Module
+from repro.variation.injector import weighted_layers
+from repro.variation.models import VariationModel
+
+
+def layer_sweep(
+    model: Module,
+    variation: VariationModel,
+    evaluator: MonteCarloEvaluator,
+) -> List[Tuple[int, MCResult]]:
+    """Accuracy with variations injected from layer ``i`` to the last layer.
+
+    Returns ``[(i, MCResult), ...]`` for i = 1 .. L (1-indexed, matching the
+    paper's x-axis; i = 1 means every layer is perturbed).
+    """
+    layers = weighted_layers(model)
+    results = []
+    for i in range(1, len(layers) + 1):
+        subset = [module for _, module in layers[i - 1 :]]
+        results.append((i, evaluator.evaluate(model, variation, layers=subset)))
+    return results
+
+
+def select_candidates(
+    model: Module,
+    variation: VariationModel,
+    evaluator: MonteCarloEvaluator,
+    original_accuracy: float,
+    threshold: float = 0.95,
+    max_candidates: Optional[int] = None,
+) -> List[int]:
+    """Compensation-candidate layer indices (0-based) per the paper's rule.
+
+    Sweeping ``i`` from the last layer backwards, find the largest ``i``
+    whose tail-injection accuracy still reaches ``threshold *
+    original_accuracy``; all layers before it (the first ``i-1`` layers,
+    whose variations the suppression cannot absorb) are candidates. If even
+    the last layer alone violates the threshold, every layer is a
+    candidate.
+    """
+    layers = weighted_layers(model)
+    target = threshold * original_accuracy
+    candidate_count = len(layers)  # worst case: all layers
+    for i in range(len(layers), 0, -1):
+        subset = [module for _, module in layers[i - 1 :]]
+        result = evaluator.evaluate(model, variation, layers=subset)
+        if result.mean >= target:
+            # Tail starting at layer i is fine; layers 0..i-2 remain suspect.
+            candidate_count = i - 1
+        else:
+            break
+    if max_candidates is not None:
+        candidate_count = min(candidate_count, max_candidates)
+    return list(range(candidate_count))

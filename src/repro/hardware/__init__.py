@@ -1,0 +1,44 @@
+"""RRAM crossbar simulator.
+
+The paper's platform (Fig. 1): weights are programmed as conductances of
+RRAM cells at crossbar crosspoints; applying input voltages on wordlines
+produces per-bitline currents equal to the MAC results (Ohm + Kirchhoff).
+The simulator models the full signal chain the paper's log-normal weight
+model abstracts:
+
+- differential conductance mapping of signed weights (``G+ - G-`` pairs)
+  with a finite ``[g_min, g_max]`` window (:class:`ConductanceMapper`);
+- programming variation via any ``repro.variation`` model, applied in the
+  conductance domain, plus per-read cycle noise (:class:`Crossbar`);
+- input DAC and output ADC quantization (:class:`DAC`, :class:`ADC`);
+- tiling of large weight matrices onto fixed-size physical arrays
+  (:class:`TiledCrossbarArray`);
+- drop-in inference layers executing their MAC through the simulator
+  (:class:`AnalogLinear`, :class:`AnalogConv2d`);
+- a first-order energy/area/latency cost model (:mod:`repro.hardware.cost`).
+
+With variation applied in the conductance domain and an ideal DAC/ADC, the
+crossbar MAC reduces exactly to the paper's eq. (1)-(2) weight-domain
+model; the property tests assert that equivalence.
+"""
+
+from repro.hardware.conductance import ConductanceMapper
+from repro.hardware.converters import ADC, DAC
+from repro.hardware.crossbar import Crossbar
+from repro.hardware.tiling import TiledCrossbarArray, tile_ranges
+from repro.hardware.analog_layers import AnalogConv2d, AnalogLinear, analogize
+from repro.hardware.cost import CrossbarCostModel, CostReport
+
+__all__ = [
+    "ConductanceMapper",
+    "DAC",
+    "ADC",
+    "Crossbar",
+    "TiledCrossbarArray",
+    "tile_ranges",
+    "AnalogLinear",
+    "AnalogConv2d",
+    "analogize",
+    "CrossbarCostModel",
+    "CostReport",
+]

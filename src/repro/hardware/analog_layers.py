@@ -1,0 +1,182 @@
+"""Inference layers that execute their MAC on the crossbar simulator.
+
+``AnalogLinear`` / ``AnalogConv2d`` wrap trained digital layers: the weight
+is programmed onto a :class:`TiledCrossbarArray` (optionally with
+programming variation), and ``forward`` runs the analog chain. These layers
+are inference-only — training happens digitally, deployment is analog,
+matching the paper's flow.
+
+:func:`analogize` converts a whole trained model, replacing every
+``Linear``/``Conv2d`` (except digital compensation modules) in place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.autograd.im2col import conv_output_size, im2col
+from repro.hardware.conductance import ConductanceMapper
+from repro.hardware.converters import ADC, DAC
+from repro.hardware.tiling import TiledCrossbarArray
+from repro.nn.layers import Conv2d, Linear, Sequential
+from repro.nn.module import Module
+from repro.utils.rng import SeedLike
+from repro.variation.models import NoVariation, VariationModel
+
+
+class AnalogLinear(Module):
+    """Crossbar-backed drop-in for a trained :class:`repro.nn.Linear`."""
+
+    def __init__(
+        self,
+        linear: Linear,
+        tile_size: int = 128,
+        mapper: Optional[ConductanceMapper] = None,
+        dac: Optional[DAC] = None,
+        adc: Optional[ADC] = None,
+        read_noise_sigma: float = 0.0,
+        wire_resistance: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.in_features = linear.in_features
+        self.out_features = linear.out_features
+        self.bias = None if linear.bias is None else linear.bias.data.copy()
+        self.array = TiledCrossbarArray(
+            linear.weight.data,
+            tile_rows=tile_size,
+            tile_cols=tile_size,
+            mapper=mapper,
+            dac=dac,
+            adc=adc,
+            read_noise_sigma=read_noise_sigma,
+            wire_resistance=wire_resistance,
+        )
+
+    def program(
+        self, variation: VariationModel = NoVariation(), seed: SeedLike = None
+    ) -> "AnalogLinear":
+        self.array.program(variation, seed)
+        return self
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.array.mvm(x.data if isinstance(x, Tensor) else np.asarray(x))
+        if self.bias is not None:
+            out = out + self.bias
+        return Tensor(out)
+
+    def extra_repr(self) -> str:
+        return f"in={self.in_features}, out={self.out_features} [analog]"
+
+
+class AnalogConv2d(Module):
+    """Crossbar-backed convolution.
+
+    The standard mapping: the kernel tensor (F, C, KH, KW) flattens to an
+    (F, C*KH*KW) matrix on the array; each sliding window becomes one input
+    vector (im2col), i.e. one crossbar read cycle per output pixel.
+    """
+
+    def __init__(
+        self,
+        conv: Conv2d,
+        tile_size: int = 128,
+        mapper: Optional[ConductanceMapper] = None,
+        dac: Optional[DAC] = None,
+        adc: Optional[ADC] = None,
+        read_noise_sigma: float = 0.0,
+        wire_resistance: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.in_channels = conv.in_channels
+        self.out_channels = conv.out_channels
+        self.kernel_size = conv.kernel_size
+        self.stride = conv.stride
+        self.padding = conv.padding
+        self.bias = None if conv.bias is None else conv.bias.data.copy()
+        self.array = TiledCrossbarArray(
+            conv.weight.data.reshape(conv.out_channels, -1),
+            tile_rows=tile_size,
+            tile_cols=tile_size,
+            mapper=mapper,
+            dac=dac,
+            adc=adc,
+            read_noise_sigma=read_noise_sigma,
+            wire_resistance=wire_resistance,
+        )
+
+    def program(
+        self, variation: VariationModel = NoVariation(), seed: SeedLike = None
+    ) -> "AnalogConv2d":
+        self.array.program(variation, seed)
+        return self
+
+    def forward(self, x: Tensor) -> Tensor:
+        data = x.data if isinstance(x, Tensor) else np.asarray(x)
+        n, c, h, w = data.shape
+        kh, kw = self.kernel_size
+        oh = conv_output_size(h, kh, self.stride, self.padding)
+        ow = conv_output_size(w, kw, self.stride, self.padding)
+        cols = im2col(data, (kh, kw), self.stride, self.padding)  # (N, K, P)
+        flat = cols.transpose(0, 2, 1).reshape(n * oh * ow, -1)
+        out = self.array.mvm(flat)  # (N*P, F)
+        out = out.reshape(n, oh * ow, self.out_channels).transpose(0, 2, 1)
+        out = out.reshape(n, self.out_channels, oh, ow)
+        if self.bias is not None:
+            out = out + self.bias.reshape(1, -1, 1, 1)
+        return Tensor(out)
+
+    def extra_repr(self) -> str:
+        return (
+            f"in={self.in_channels}, out={self.out_channels}, "
+            f"kernel={self.kernel_size} [analog]"
+        )
+
+
+def analogize(
+    model: Module,
+    tile_size: int = 128,
+    mapper: Optional[ConductanceMapper] = None,
+    dac: Optional[DAC] = None,
+    adc: Optional[ADC] = None,
+    read_noise_sigma: float = 0.0,
+    wire_resistance: float = 0.0,
+    variation: VariationModel = NoVariation(),
+    seed: SeedLike = None,
+) -> Module:
+    """Replace Linear/Conv2d layers with analog equivalents, in place.
+
+    Modules flagged ``digital = True`` (compensation layers) are left
+    untouched. Returns ``model`` for chaining. Programming variation is
+    applied per layer with independent seeds.
+    """
+    counter = [0]
+
+    def _convert(module: Module) -> None:
+        for name, child in list(module._modules.items()):
+            if getattr(child, "digital", False):
+                continue
+            replacement = None
+            layer_seed = None if seed is None else hash((seed, counter[0])) % 2**31
+            if isinstance(child, Linear):
+                replacement = AnalogLinear(
+                    child, tile_size, mapper, dac, adc, read_noise_sigma,
+                    wire_resistance,
+                )
+            elif isinstance(child, Conv2d):
+                replacement = AnalogConv2d(
+                    child, tile_size, mapper, dac, adc, read_noise_sigma,
+                    wire_resistance,
+                )
+            if replacement is not None:
+                replacement.program(variation, layer_seed)
+                counter[0] += 1
+                setattr(module, name, replacement)
+                module._modules[name] = replacement
+            else:
+                _convert(child)
+
+    _convert(model)
+    return model

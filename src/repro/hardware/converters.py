@@ -1,0 +1,47 @@
+"""Input DAC and output ADC models.
+
+Both are uniform mid-rise quantizers over a symmetric range. ``bits=None``
+models an ideal converter (pass-through) — the configuration under which
+the crossbar reduces exactly to the paper's weight-domain variation model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class _UniformQuantizer:
+    def __init__(self, bits: Optional[int]) -> None:
+        if bits is not None and bits < 1:
+            raise ValueError(f"bits must be >= 1 or None, got {bits}")
+        self.bits = bits
+
+    @property
+    def levels(self) -> Optional[int]:
+        return None if self.bits is None else 2**self.bits
+
+    def quantize(self, values: np.ndarray, full_scale: float) -> np.ndarray:
+        """Quantize ``values`` assuming range [-full_scale, +full_scale]."""
+        if self.bits is None or full_scale <= 0:
+            return values
+        step = 2.0 * full_scale / (self.levels - 1)
+        clipped = np.clip(values, -full_scale, full_scale)
+        return np.round(clipped / step) * step
+
+
+class DAC(_UniformQuantizer):
+    """Digital-to-analog converter driving wordline voltages.
+
+    ``quantize`` maps the digital activation vector to the discrete voltage
+    levels the drivers can produce.
+    """
+
+
+class ADC(_UniformQuantizer):
+    """Analog-to-digital converter sensing bitline currents.
+
+    The full-scale current is workload-dependent; :class:`Crossbar` passes
+    the worst-case column current so that no in-range MAC clips.
+    """

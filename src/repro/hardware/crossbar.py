@@ -1,0 +1,179 @@
+"""A single RRAM crossbar array executing matrix-vector products.
+
+Physical picture (paper Fig. 1): the weight matrix ``W`` (out x in) is
+programmed column-wise; applying voltages ``v`` (one per wordline = input)
+yields per-bitline currents ``i = G v`` — the MAC result. We store the
+differential pair ``(G+, G-)`` and compute ``i = (G+ - G-) v``.
+
+The simulation chain per read:
+
+1. DAC-quantize the input vector (optional);
+2. analog MAC with the *programmed* conductances (nominal conductances
+   perturbed once by the programming-variation model at program time);
+3. optional per-read cycle noise on the currents;
+4. ADC-quantize and decode back to the weight domain.
+
+``program`` applies variation in the conductance domain. For the paper's
+multiplicative log-normal model this is equivalent to perturbing weights
+directly when ``differential=True`` and no clipping occurs, because both
+``G+`` and ``G-`` scale multiplicatively around ``g_min`` — the equivalence
+the property tests check with clipping disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.hardware.conductance import ConductanceMapper
+from repro.hardware.converters import ADC, DAC
+from repro.utils.rng import new_rng, SeedLike
+from repro.variation.models import NoVariation, VariationModel
+
+
+class Crossbar:
+    """One physical crossbar tile storing a (rows=outputs, cols=inputs) matrix.
+
+    Parameters
+    ----------
+    weights:
+        Nominal weight matrix (out x in).
+    mapper:
+        Conductance mapper; defaults to a fresh auto-scaling mapper.
+    dac, adc:
+        Converter models; default ideal.
+    read_noise_sigma:
+        Std of i.i.d. Gaussian cycle-to-cycle noise, relative to the
+        column's full-scale current. 0 disables.
+    clip_conductance:
+        Clamp programmed conductances into the physical window. Disable to
+        recover the paper's unclipped weight-domain model exactly.
+    wire_resistance:
+        Per-segment wordline/bitline wire resistance in ohms (0 disables).
+        Modeled first-order: the cell at row ``i``, column ``j`` sees its
+        drive voltage attenuated by the series resistance of ``i + j`` wire
+        segments against the cell's own resistance — the standard IR-drop
+        approximation for crossbar accuracy studies. Cells far from the
+        drivers contribute systematically less current.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        mapper: Optional[ConductanceMapper] = None,
+        dac: Optional[DAC] = None,
+        adc: Optional[ADC] = None,
+        read_noise_sigma: float = 0.0,
+        clip_conductance: bool = True,
+        wire_resistance: float = 0.0,
+    ) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
+        self.nominal_weights = weights
+        self.mapper = mapper or ConductanceMapper()
+        self.dac = dac or DAC(None)
+        self.adc = adc or ADC(None)
+        if read_noise_sigma < 0:
+            raise ValueError("read_noise_sigma must be non-negative")
+        if wire_resistance < 0:
+            raise ValueError("wire_resistance must be non-negative")
+        self.read_noise_sigma = float(read_noise_sigma)
+        self.clip_conductance = clip_conductance
+        self.wire_resistance = float(wire_resistance)
+
+        self._g_pos_nominal, self._g_neg_nominal, self._scale = self.mapper.encode(
+            weights
+        )
+        # Programmed state starts nominal; ``program`` overwrites it.
+        self.g_pos = self._g_pos_nominal.copy()
+        self.g_neg = self._g_neg_nominal.copy()
+        self._read_rng = new_rng(None)
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.nominal_weights.shape
+
+    def program(
+        self, variation: VariationModel = NoVariation(), seed: SeedLike = None
+    ) -> "Crossbar":
+        """(Re)program the array: apply ``variation`` to both conductance
+        planes independently, then clip to the physical window."""
+        rng = new_rng(seed)
+        g_pos = variation.perturb(self._g_pos_nominal - self.mapper.g_min, rng)
+        g_neg = variation.perturb(self._g_neg_nominal - self.mapper.g_min, rng)
+        g_pos = g_pos + self.mapper.g_min
+        g_neg = g_neg + self.mapper.g_min
+        if self.clip_conductance:
+            g_pos = self.mapper.clip(g_pos)
+            g_neg = self.mapper.clip(g_neg)
+        self.g_pos, self.g_neg = g_pos, g_neg
+        return self
+
+    def effective_weights(self) -> np.ndarray:
+        """Decode the currently programmed conductances back to weights."""
+        return self.mapper.decode(self.g_pos, self.g_neg, self._scale)
+
+    def seed_read_noise(self, seed: SeedLike) -> None:
+        self._read_rng = new_rng(seed)
+
+    # ------------------------------------------------------------------
+    def mvm(self, x: np.ndarray) -> np.ndarray:
+        """Matrix-vector (or matrix-batch) product through the analog chain.
+
+        ``x`` has shape (in,) or (batch, in); the result matches
+        ``x @ W_eff.T`` with DAC/ADC quantization and read noise applied.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[None]
+        if x.shape[1] != self.shape[1]:
+            raise ValueError(
+                f"input dim {x.shape[1]} does not match crossbar cols {self.shape[1]}"
+            )
+        v_scale = float(np.abs(x).max())
+        v = self.dac.quantize(x, v_scale)
+
+        g_diff = self.g_pos - self.g_neg  # (out, in)
+        if self.wire_resistance > 0.0:
+            g_diff = g_diff * self._ir_drop_attenuation()
+        currents = v @ g_diff.T  # (batch, out)
+
+        span = self.mapper.g_max - self.mapper.g_min
+        # Worst-case column current bounds the ADC full scale.
+        full_scale = v_scale * span * self.shape[1]
+        if self.read_noise_sigma > 0:
+            currents = currents + self._read_rng.normal(
+                0.0, self.read_noise_sigma * full_scale, size=currents.shape
+            )
+        currents = self.adc.quantize(currents, full_scale)
+
+        out = currents / span * self._scale
+        return out[0] if squeeze else out
+
+    def _ir_drop_attenuation(self) -> np.ndarray:
+        """Per-cell attenuation factor from wordline/bitline IR drop.
+
+        Cell (i, j) — row i counted from the column sense amplifier, column
+        j from the row driver — sees ``i + j`` wire segments of resistance
+        ``r_w`` in series with its own resistance ``1/G``. The voltage
+        divider gives attenuation ``(1/G) / (1/G + (i + j) r_w)``, i.e.
+        ``1 / (1 + (i + j) r_w G)``. Computed against the worst-case cell
+        conductance ``g_max`` per plane average for a conservative
+        first-order estimate.
+        """
+        rows, cols = self.shape
+        # distance in segments: farthest from both drivers at (rows-1, cols-1)
+        dist = np.add.outer(np.arange(rows), np.arange(cols)).astype(np.float64)
+        g_cell = (self.g_pos + self.g_neg) / 2.0
+        return 1.0 / (1.0 + dist * self.wire_resistance * g_cell)
+
+    def __repr__(self) -> str:
+        return (
+            f"Crossbar(shape={self.shape}, read_noise={self.read_noise_sigma}, "
+            f"dac_bits={self.dac.bits}, adc_bits={self.adc.bits}, "
+            f"r_wire={self.wire_resistance})"
+        )

@@ -1,0 +1,113 @@
+"""Tiling large weight matrices onto fixed-size physical crossbars.
+
+Real arrays are bounded (typically 128x128 .. 512x512 cells); a layer's
+weight matrix is partitioned into tiles, each programmed on its own
+crossbar, and partial sums are accumulated digitally across column tiles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.conductance import ConductanceMapper
+from repro.hardware.converters import ADC, DAC
+from repro.hardware.crossbar import Crossbar
+from repro.utils.rng import spawn_rngs, SeedLike
+from repro.variation.models import NoVariation, VariationModel
+
+
+def tile_ranges(size: int, tile: int) -> List[Tuple[int, int]]:
+    """[(start, stop), ...] covering ``size`` in chunks of at most ``tile``."""
+    if tile <= 0:
+        raise ValueError(f"tile size must be positive, got {tile}")
+    return [(start, min(start + tile, size)) for start in range(0, size, tile)]
+
+
+class TiledCrossbarArray:
+    """A weight matrix spread over a grid of fixed-size crossbars.
+
+    The tile grid is (ceil(out/tile_rows), ceil(in/tile_cols)); an MVM runs
+    every tile and digitally accumulates partial sums along the input
+    (column) direction — the standard ISAAC/PRIME dataflow.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        tile_rows: int = 128,
+        tile_cols: int = 128,
+        mapper: Optional[ConductanceMapper] = None,
+        dac: Optional[DAC] = None,
+        adc: Optional[ADC] = None,
+        read_noise_sigma: float = 0.0,
+        clip_conductance: bool = True,
+        wire_resistance: float = 0.0,
+    ) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
+        self.weights_shape = weights.shape
+        self.row_ranges = tile_ranges(weights.shape[0], tile_rows)
+        self.col_ranges = tile_ranges(weights.shape[1], tile_cols)
+        # Share one mapper scale across tiles so partial sums are consistent.
+        scale = float(np.abs(weights).max()) or 1.0
+        base = mapper or ConductanceMapper()
+        shared = ConductanceMapper(base.g_min, base.g_max, w_scale=scale)
+        self.tiles: List[List[Crossbar]] = [
+            [
+                Crossbar(
+                    weights[r0:r1, c0:c1],
+                    mapper=shared,
+                    dac=dac,
+                    adc=adc,
+                    read_noise_sigma=read_noise_sigma,
+                    clip_conductance=clip_conductance,
+                    wire_resistance=wire_resistance,
+                )
+                for (c0, c1) in self.col_ranges
+            ]
+            for (r0, r1) in self.row_ranges
+        ]
+
+    @property
+    def num_tiles(self) -> int:
+        return len(self.row_ranges) * len(self.col_ranges)
+
+    def program(
+        self, variation: VariationModel = NoVariation(), seed: SeedLike = None
+    ) -> "TiledCrossbarArray":
+        """Program every tile with independent variation streams."""
+        rngs = iter(spawn_rngs(seed, self.num_tiles))
+        for row in self.tiles:
+            for tile in row:
+                tile.program(variation, next(rngs))
+        return self
+
+    def effective_weights(self) -> np.ndarray:
+        """Stitch the decoded per-tile weights back into the full matrix."""
+        out = np.zeros(self.weights_shape)
+        for (r0, r1), row in zip(self.row_ranges, self.tiles):
+            for (c0, c1), tile in zip(self.col_ranges, row):
+                out[r0:r1, c0:c1] = tile.effective_weights()
+        return out
+
+    def mvm(self, x: np.ndarray) -> np.ndarray:
+        """Full-matrix MVM via per-tile analog MACs + digital accumulation."""
+        x = np.asarray(x, dtype=np.float64)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[None]
+        if x.shape[1] != self.weights_shape[1]:
+            raise ValueError(
+                f"input dim {x.shape[1]} does not match matrix cols "
+                f"{self.weights_shape[1]}"
+            )
+        out = np.zeros((x.shape[0], self.weights_shape[0]))
+        for (r0, r1), row in zip(self.row_ranges, self.tiles):
+            acc = np.zeros((x.shape[0], r1 - r0))
+            for (c0, c1), tile in zip(self.col_ranges, row):
+                acc += tile.mvm(x[:, c0:c1])
+            out[:, r0:r1] = acc
+        return out[0] if squeeze else out

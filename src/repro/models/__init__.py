@@ -1,0 +1,25 @@
+"""Model zoo: the paper's two architectures plus a small MLP.
+
+All models expose a flat ``net`` :class:`repro.nn.Sequential` so that
+compensation wrappers can be spliced by layer index, and the variation
+injector / Fig. 9 sweeps index weighted layers consistently.
+
+Widths are scaled relative to the originals so the numpy substrate can
+train them in minutes (DESIGN.md, substitutions); *depth* — the property
+driving error amplification — is preserved (LeNet-5: 4-5 weighted layers;
+VGG-16 style: 13 conv + 2 FC).
+"""
+
+from repro.models.lenet import LeNet5
+from repro.models.vgg import VGG, VGG_CONFIGS
+from repro.models.mlp import MLP
+from repro.models.registry import available_models, build_model
+
+__all__ = [
+    "LeNet5",
+    "VGG",
+    "VGG_CONFIGS",
+    "MLP",
+    "build_model",
+    "available_models",
+]

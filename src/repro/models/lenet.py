@@ -1,0 +1,66 @@
+"""LeNet-5 (LeCun et al., 1989) at configurable input size.
+
+Topology follows the classic conv(6)-pool-conv(16)-pool-fc(120)-fc(84)-fc
+stack. For 16x16 synthetic inputs the 5x5 valid convolutions leave a 1x1
+map after the second pool, exactly consuming the spatial extent like the
+original 32x32 version did.
+"""
+
+from __future__ import annotations
+
+import repro.nn as nn
+from repro.nn.module import Module
+from repro.utils.rng import new_rng, SeedLike
+
+
+class LeNet5(Module):
+    """LeNet-5 with a flat, index-addressable ``net`` Sequential."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        in_channels: int = 1,
+        input_size: int = 16,
+        width_multiplier: float = 1.0,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(seed)
+
+        def _seed() -> int:
+            return int(rng.integers(2**31))
+
+        c1 = max(2, int(round(6 * width_multiplier)))
+        c2 = max(4, int(round(16 * width_multiplier)))
+        f1 = max(8, int(round(120 * width_multiplier)))
+        f2 = max(8, int(round(84 * width_multiplier)))
+
+        # Two conv/pool stages with 5x5 valid kernels (3x3 for tiny inputs).
+        k = 5 if input_size >= 16 else 3
+        s1 = (input_size - k + 1) // 2
+        s2 = (s1 - k + 1) // 2
+        if s2 < 1:
+            raise ValueError(
+                f"input_size {input_size} too small for kernel {k} LeNet-5"
+            )
+        self.num_classes = num_classes
+        self.net = nn.Sequential(
+            nn.Conv2d(in_channels, c1, k, seed=_seed()),
+            nn.ReLU(),
+            nn.AvgPool2d(2),
+            nn.Conv2d(c1, c2, k, seed=_seed()),
+            nn.ReLU(),
+            nn.AvgPool2d(2),
+            nn.Flatten(),
+            nn.Linear(c2 * s2 * s2, f1, seed=_seed()),
+            nn.ReLU(),
+            nn.Linear(f1, f2, seed=_seed()),
+            nn.ReLU(),
+            nn.Linear(f2, num_classes, seed=_seed()),
+        )
+
+    def forward(self, x):
+        return self.net(x)
+
+    def extra_repr(self) -> str:
+        return f"classes={self.num_classes}"

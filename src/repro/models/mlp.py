@@ -1,0 +1,46 @@
+"""A plain multi-layer perceptron.
+
+Used by unit/integration tests and as the minimal quickstart model; also a
+valid CorrectNet target (compensation falls back to its linear form).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import repro.nn as nn
+from repro.nn.module import Module
+from repro.utils.rng import new_rng, SeedLike
+
+
+class MLP(Module):
+    """Fully-connected ReLU network with a flat ``net`` Sequential."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int],
+        num_classes: int,
+        flatten_input: bool = True,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(seed)
+
+        def _seed() -> int:
+            return int(rng.integers(2**31))
+
+        layers = []
+        if flatten_input:
+            layers.append(nn.Flatten())
+        width = in_features
+        for h in hidden:
+            layers.append(nn.Linear(width, h, seed=_seed()))
+            layers.append(nn.ReLU())
+            width = h
+        layers.append(nn.Linear(width, num_classes, seed=_seed()))
+        self.num_classes = num_classes
+        self.net = nn.Sequential(*layers)
+
+    def forward(self, x):
+        return self.net(x)

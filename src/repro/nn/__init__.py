@@ -1,0 +1,49 @@
+"""Neural-network modules on top of the autograd engine.
+
+Mirrors the familiar ``torch.nn`` surface at the scale this reproduction
+needs: ``Module``/``Parameter`` trees with named parameter traversal
+(the variation injector and crossbar mapper rely on it), convolution /
+linear / pooling / normalisation layers, activations, containers, and loss
+modules.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from repro.nn.batchnorm import BatchNorm1d, BatchNorm2d
+from repro.nn.loss import CrossEntropyLoss, MSELoss
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "AvgPool2d",
+    "MaxPool2d",
+    "Flatten",
+    "Identity",
+    "Dropout",
+    "Sequential",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "init",
+]

@@ -1,0 +1,84 @@
+"""Batch normalisation (1-D and 2-D).
+
+Running statistics live in buffers so they serialize with the model and are
+excluded from variation injection (they are digital state, not crossbar
+conductances).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.nn.module import Module, Parameter
+
+
+class _BatchNorm(Module):
+    def __init__(
+        self, num_features: int, eps: float = 1e-5, momentum: float = 0.1
+    ) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def _axes(self, x: Tensor):
+        raise NotImplementedError
+
+    def _shape(self, x: Tensor):
+        raise NotImplementedError
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = self._axes(x)
+        shape = self._shape(x)
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+            m = self.momentum
+            self.set_buffer(
+                "running_mean",
+                (1 - m) * self.running_mean + m * mean.data.reshape(-1),
+            )
+            self.set_buffer(
+                "running_var",
+                (1 - m) * self.running_var + m * var.data.reshape(-1),
+            )
+        else:
+            mean = Tensor(self.running_mean.reshape(shape))
+            var = Tensor(self.running_var.reshape(shape))
+        inv_std = (var + self.eps) ** -0.5
+        normalized = (x - mean) * inv_std
+        gamma = self.gamma.reshape(shape)
+        beta = self.beta.reshape(shape)
+        return normalized * gamma + beta
+
+    def extra_repr(self) -> str:
+        return f"features={self.num_features}, eps={self.eps}"
+
+
+class BatchNorm1d(_BatchNorm):
+    """Normalise (N, C) activations per feature."""
+
+    def _axes(self, x: Tensor):
+        if x.ndim != 2:
+            raise ValueError(f"BatchNorm1d expects (N, C), got shape {x.shape}")
+        return 0
+
+    def _shape(self, x: Tensor):
+        return (1, self.num_features)
+
+
+class BatchNorm2d(_BatchNorm):
+    """Normalise (N, C, H, W) activations per channel."""
+
+    def _axes(self, x: Tensor):
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects (N, C, H, W), got shape {x.shape}")
+        return (0, 2, 3)
+
+    def _shape(self, x: Tensor):
+        return (1, self.num_features, 1, 1)

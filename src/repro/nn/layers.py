@@ -1,0 +1,210 @@
+"""Core layers: linear, convolution, pooling, activations, containers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+from repro.autograd import Tensor, functional as F
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import new_rng, SeedLike
+
+
+class Linear(Module):
+    """Affine layer ``y = x W^T + b`` with weight shape (out, in).
+
+    This 2-D weight is exactly what one RRAM crossbar (or a tile thereof)
+    stores, so linear layers map one-to-one onto the hardware simulator.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        seed: SeedLike = None,
+        weight_init: str = "kaiming",
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = new_rng(seed)
+        shape = (out_features, in_features)
+        if weight_init == "kaiming":
+            w = init.kaiming_normal(shape, rng)
+        elif weight_init == "xavier":
+            w = init.xavier_uniform(shape, rng)
+        elif weight_init == "orthogonal":
+            w = init.orthogonal(shape, rng)
+        else:
+            raise ValueError(f"unknown weight_init {weight_init!r}")
+        self.weight = Parameter(w)
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def extra_repr(self) -> str:
+        return f"in={self.in_features}, out={self.out_features}"
+
+
+class Conv2d(Module):
+    """2-D convolution with weight shape (out_channels, in_channels, KH, KW)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: Union[int, tuple],
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        seed: SeedLike = None,
+        weight_init: str = "kaiming",
+    ) -> None:
+        super().__init__()
+        kh, kw = F._pair(kernel_size)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        rng = new_rng(seed)
+        shape = (out_channels, in_channels, kh, kw)
+        if weight_init == "kaiming":
+            w = init.kaiming_normal(shape, rng)
+        elif weight_init == "xavier":
+            w = init.xavier_uniform(shape, rng)
+        elif weight_init == "orthogonal":
+            w = init.orthogonal(shape, rng)
+        else:
+            raise ValueError(f"unknown weight_init {weight_init!r}")
+        self.weight = Parameter(w)
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, self.stride, self.padding)
+
+    def extra_repr(self) -> str:
+        return (
+            f"in={self.in_channels}, out={self.out_channels}, "
+            f"kernel={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}"
+        )
+
+
+class ReLU(Module):
+    """Rectified linear unit. 1-Lipschitz, hence 'free' for eq. (5)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Softmax(Module):
+    def __init__(self, axis: int = -1) -> None:
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.softmax(x, axis=self.axis)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: Union[int, tuple], stride: Optional[int] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+    def extra_repr(self) -> str:
+        return f"kernel={self.kernel_size}"
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: Union[int, tuple], stride: Optional[int] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+    def extra_repr(self) -> str:
+        return f"kernel={self.kernel_size}"
+
+
+class Flatten(Module):
+    """Collapse all but the batch axis."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5, seed: SeedLike = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = new_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self._rng, self.training)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"
+
+
+class Sequential(Module):
+    """Ordered container; also indexable so CorrectNet can splice
+    compensation wrappers around individual layers."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._order = []
+        for i, module in enumerate(modules):
+            setattr(self, str(i), module)
+            self._order.append(str(i))
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._order:
+            x = self._modules[name](x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]
+
+    def __setitem__(self, index: int, module: Module) -> None:
+        name = self._order[index]
+        setattr(self, name, module)
+
+    def __iter__(self) -> Iterable[Module]:
+        return iter(self._modules[name] for name in self._order)
+
+    def append(self, module: Module) -> "Sequential":
+        name = str(len(self._order))
+        setattr(self, name, module)
+        self._order.append(name)
+        return self

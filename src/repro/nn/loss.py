@@ -1,0 +1,24 @@
+"""Loss modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, functional as F
+from repro.nn.module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Mean cross-entropy over integer labels (the paper's ``L_ce``)."""
+
+    def forward(self, logits: Tensor, labels: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, labels)
+
+
+class MSELoss(Module):
+    """Mean squared error (used by unit tests and the RL value baseline)."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        target = target if isinstance(target, Tensor) else Tensor(target)
+        diff = prediction - target
+        return (diff * diff).mean()

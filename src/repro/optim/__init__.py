@@ -1,0 +1,15 @@
+"""Optimizers and learning-rate schedules for the numpy NN substrate."""
+
+from repro.optim.optimizers import SGD, Adam, RMSprop, Optimizer, clip_grad_norm
+from repro.optim.schedulers import CosineSchedule, StepSchedule, ConstantSchedule
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "RMSprop",
+    "clip_grad_norm",
+    "StepSchedule",
+    "CosineSchedule",
+    "ConstantSchedule",
+]

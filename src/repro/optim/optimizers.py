@@ -1,0 +1,149 @@
+"""First-order optimizers.
+
+All optimizers skip frozen parameters (see :class:`repro.nn.Parameter`),
+which is how compensation training keeps the Lipschitz-regularized original
+weights fixed while the generators/compensators learn.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clip norm (useful for logging RL policy updates, which
+    occasionally spike).
+    """
+    params = [p for p in parameters if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+class Optimizer:
+    """Base class holding the parameter list and per-parameter state."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self._state: Dict[int, Dict[str, np.ndarray]] = {}
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def _active_params(self) -> Iterable[Parameter]:
+        for p in self.parameters:
+            if p.grad is None or getattr(p, "frozen", False):
+                continue
+            yield p
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum / Nesterov / weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if nesterov and momentum <= 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+
+    def step(self) -> None:
+        for p in self._active_params():
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                state = self._state.setdefault(id(p), {})
+                buf = state.get("momentum")
+                if buf is None:
+                    buf = np.zeros_like(p.data)
+                    state["momentum"] = buf
+                buf *= self.momentum
+                buf += grad
+                grad = grad + self.momentum * buf if self.nesterov else buf
+            p.data = p.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def step(self) -> None:
+        for p in self._active_params():
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            state = self._state.setdefault(
+                id(p),
+                {
+                    "step": np.zeros(()),
+                    "m": np.zeros_like(p.data),
+                    "v": np.zeros_like(p.data),
+                },
+            )
+            state["step"] += 1
+            t = float(state["step"])
+            state["m"] = self.beta1 * state["m"] + (1 - self.beta1) * grad
+            state["v"] = self.beta2 * state["v"] + (1 - self.beta2) * grad**2
+            m_hat = state["m"] / (1 - self.beta1**t)
+            v_hat = state["v"] / (1 - self.beta2**t)
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class RMSprop(Optimizer):
+    """RMSprop; kept for the RL policy, where Adam's momentum can overshoot."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.alpha = alpha
+        self.eps = eps
+
+    def step(self) -> None:
+        for p in self._active_params():
+            state = self._state.setdefault(id(p), {"sq": np.zeros_like(p.data)})
+            state["sq"] = self.alpha * state["sq"] + (1 - self.alpha) * p.grad**2
+            p.data = p.data - self.lr * p.grad / (np.sqrt(state["sq"]) + self.eps)

@@ -1,0 +1,58 @@
+"""REINFORCE with a moving-average baseline and entropy regularization."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.optim.optimizers import Adam, clip_grad_norm
+from repro.rl.policy import Episode, RNNPolicy
+from repro.utils.logging import get_logger
+
+logger = get_logger("rl.agent")
+
+
+class ReinforceAgent:
+    """Policy-gradient learner for the compensation-placement policy.
+
+    The update for an episode with reward ``R`` is the REINFORCE gradient
+    of ``-(R - b) log pi(actions)`` where ``b`` is an exponential moving
+    average of past rewards (variance reduction), minus an entropy bonus
+    that keeps early exploration alive.
+    """
+
+    def __init__(
+        self,
+        policy: RNNPolicy,
+        lr: float = 5e-3,
+        entropy_coef: float = 0.01,
+        baseline_momentum: float = 0.8,
+        grad_clip: Optional[float] = 5.0,
+    ) -> None:
+        self.policy = policy
+        self.optimizer = Adam(list(policy.parameters()), lr=lr)
+        self.entropy_coef = entropy_coef
+        self.baseline_momentum = baseline_momentum
+        self.grad_clip = grad_clip
+        self.baseline: Optional[float] = None
+        self.reward_history: List[float] = []
+
+    def update(self, episode: Episode, reward: float) -> float:
+        """One policy-gradient step; returns the advantage used."""
+        if self.baseline is None:
+            self.baseline = reward
+        advantage = reward - self.baseline
+        self.baseline = (
+            self.baseline_momentum * self.baseline
+            + (1.0 - self.baseline_momentum) * reward
+        )
+        self.reward_history.append(reward)
+
+        self.optimizer.zero_grad()
+        loss = episode.total_log_prob * (-advantage)
+        loss = loss - episode.total_entropy * self.entropy_coef
+        loss.backward()
+        if self.grad_clip is not None:
+            clip_grad_norm(self.optimizer.parameters, self.grad_clip)
+        self.optimizer.step()
+        logger.debug("reward %.4f advantage %.4f", reward, advantage)
+        return advantage

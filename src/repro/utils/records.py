@@ -1,0 +1,68 @@
+"""Lightweight experiment result records.
+
+Experiments (benchmarks, the CorrectNet pipeline, RL search) produce
+:class:`ResultRecord` objects — plain dict-like rows with a name and
+key/value metrics — collected in a :class:`ResultStore` that can be dumped
+to JSON for EXPERIMENTS.md bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+
+@dataclass
+class ResultRecord:
+    """One experiment row: an identifier plus arbitrary scalar metrics."""
+
+    name: str
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.metrics[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self.metrics[key] = value
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, **self.metrics}
+
+
+class ResultStore:
+    """Ordered collection of :class:`ResultRecord` with JSON round-trip."""
+
+    def __init__(self) -> None:
+        self._records: List[ResultRecord] = []
+
+    def add(self, name: str, **metrics: Any) -> ResultRecord:
+        record = ResultRecord(name, dict(metrics))
+        self._records.append(record)
+        return record
+
+    def __iter__(self) -> Iterator[ResultRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def find(self, name: str) -> Optional[ResultRecord]:
+        """Return the first record with ``name``, or ``None``."""
+        for record in self._records:
+            if record.name == name:
+                return record
+        return None
+
+    def to_json(self, path: Union[str, Path]) -> None:
+        rows = [r.as_dict() for r in self._records]
+        Path(path).write_text(json.dumps(rows, indent=2, default=float))
+
+    @classmethod
+    def from_json(cls, path: Union[str, Path]) -> "ResultStore":
+        store = cls()
+        for row in json.loads(Path(path).read_text()):
+            row = dict(row)
+            store.add(row.pop("name"), **row)
+        return store

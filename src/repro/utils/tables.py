@@ -1,0 +1,35 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints the same rows the paper's tables report; this
+module renders them with aligned columns so the output is readable in CI
+logs without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    cells: List[List[str]] = [[_fmt(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        cells.append([_fmt(v) for v in row])
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    for i, row_cells in enumerate(cells):
+        line = " | ".join(c.ljust(w) for c, w in zip(row_cells, widths))
+        lines.append(line.rstrip())
+        if i == 0:
+            lines.append("-+-".join("-" * w for w in widths))
+    return "\n".join(lines)

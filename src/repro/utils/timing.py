@@ -1,0 +1,35 @@
+"""Wall-clock timing helper used by trainers and the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed > 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start
+            self._start = None
+
+    def lap(self) -> float:
+        """Seconds since the timer was entered (without stopping it)."""
+        if self._start is None:
+            return self.elapsed
+        return time.perf_counter() - self._start

@@ -1,0 +1,40 @@
+"""Weight-variation models and injection machinery.
+
+Implements the paper's log-normal device-variation model (eq. 1-2):
+
+``w = w_nominal * exp(theta)``, ``theta ~ N(0, sigma^2)`` i.i.d. per weight,
+
+plus additional models exercised by the ablation benches (additive
+Gaussian, conductance-state-dependent, stuck-at faults) and the injection
+context manager that perturbs a module tree's weights in place and restores
+them afterwards.
+"""
+
+from repro.variation.models import (
+    GaussianVariation,
+    LogNormalVariation,
+    NoVariation,
+    StateDependentVariation,
+    StuckAtFaults,
+    VariationModel,
+)
+from repro.variation.nonidealities import ConductanceDrift, LevelQuantization
+from repro.variation.injector import (
+    VariationInjector,
+    perturbed,
+    weighted_layers,
+)
+
+__all__ = [
+    "VariationModel",
+    "LogNormalVariation",
+    "GaussianVariation",
+    "StateDependentVariation",
+    "StuckAtFaults",
+    "NoVariation",
+    "LevelQuantization",
+    "ConductanceDrift",
+    "VariationInjector",
+    "perturbed",
+    "weighted_layers",
+]

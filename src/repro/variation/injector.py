@@ -1,0 +1,149 @@
+"""Injecting variations into module trees, and restoring them.
+
+The injector perturbs ``Parameter.data`` in place (so the existing autograd
+graph topology, optimizers and crossbar mappings keep their references) and
+restores the nominal values on exit. Three orthogonal controls mirror the
+paper's experiments:
+
+- *which layers*: an explicit layer subset (Fig. 9 injects variations only
+  from layer i to the last layer);
+- *digital immunity*: modules flagged ``digital = True`` (compensation
+  generators/compensators, eq.-(12) overhead weights) are skipped —
+  the paper assumes they run on variation-free digital circuits;
+- *protection masks*: per-parameter boolean masks holding selected weights
+  at nominal value (the SRAM-protected weights of the baseline methods
+  [8]/[9]).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import new_rng, SeedLike
+from repro.variation.models import VariationModel
+
+#: Parameter attribute names treated as crossbar-mapped weights. Biases and
+#: batch-norm affine parameters are digital/peripheral state in typical
+#: RRAM accelerators, matching the paper's weight-only variation model.
+WEIGHT_ATTR_NAMES = ("weight",)
+
+
+def weighted_layers(module: Module) -> List[Tuple[str, Module]]:
+    """Ordered (name, module) list of layers owning a crossbar-mapped weight.
+
+    This ordering defines the paper's "layer i" indexing: Fig. 9's sweep,
+    candidate selection and compensation placement all index into it.
+    Digital (compensation) modules are excluded.
+    """
+    layers = []
+    for name, sub in module.named_modules():
+        if getattr(sub, "digital", False):
+            continue
+        if "weight" in sub._parameters:
+            layers.append((name, sub))
+    return layers
+
+
+def _iter_target_params(
+    module: Module, layers: Optional[Sequence[Module]]
+) -> Iterator[Tuple[str, Parameter]]:
+    """Yield (qualified-name, parameter) pairs subject to variation."""
+    if layers is None:
+        targets = [m for _, m in weighted_layers(module)]
+    else:
+        targets = list(layers)
+    seen = set()
+    name_of = {id(sub): name for name, sub in module.named_modules()}
+    for sub in targets:
+        if id(sub) in seen:
+            continue
+        seen.add(id(sub))
+        for attr in WEIGHT_ATTR_NAMES:
+            param = sub._parameters.get(attr)
+            if param is not None:
+                yield f"{name_of.get(id(sub), '?')}.{attr}", param
+
+
+class VariationInjector:
+    """Reusable injector bound to a model and a variation source.
+
+    Parameters
+    ----------
+    model:
+        Module tree whose weights get perturbed.
+    variation:
+        A :class:`VariationModel`.
+    layers:
+        Optional explicit subset of layer modules to perturb (default: all
+        non-digital weighted layers).
+    protection_masks:
+        Optional ``{qualified-param-name: bool array}``; entries that are
+        ``True`` are held at their nominal value (digitally protected).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        variation: VariationModel,
+        layers: Optional[Sequence[Module]] = None,
+        protection_masks: Optional[Dict[str, np.ndarray]] = None,
+    ) -> None:
+        self.model = model
+        self.variation = variation
+        self.layers = layers
+        self.protection_masks = protection_masks or {}
+
+    def sample(self, seed: SeedLike = None) -> Dict[str, np.ndarray]:
+        """Return ``{param-name: perturbed array}`` without touching the model."""
+        rng = new_rng(seed)
+        out = {}
+        for name, param in _iter_target_params(self.model, self.layers):
+            nominal = param.data
+            perturbed_data = self.variation.perturb(nominal, rng)
+            mask = self.protection_masks.get(name)
+            if mask is not None:
+                perturbed_data = np.where(mask, nominal, perturbed_data)
+            out[name] = perturbed_data
+        return out
+
+    @contextlib.contextmanager
+    def applied(self, seed: SeedLike = None) -> Iterator["VariationInjector"]:
+        """Context manager: perturb in place, restore on exit."""
+        saved: List[Tuple[Parameter, np.ndarray]] = []
+        try:
+            rng = new_rng(seed)
+            for name, param in _iter_target_params(self.model, self.layers):
+                nominal = param.data
+                perturbed_data = self.variation.perturb(nominal, rng)
+                mask = self.protection_masks.get(name)
+                if mask is not None:
+                    perturbed_data = np.where(mask, nominal, perturbed_data)
+                saved.append((param, nominal))
+                param.data = perturbed_data
+            yield self
+        finally:
+            for param, nominal in saved:
+                param.data = nominal
+
+
+@contextlib.contextmanager
+def perturbed(
+    model: Module,
+    variation: VariationModel,
+    seed: SeedLike = None,
+    layers: Optional[Sequence[Module]] = None,
+    protection_masks: Optional[Dict[str, np.ndarray]] = None,
+) -> Iterator[Module]:
+    """One-shot convenience wrapper around :class:`VariationInjector`.
+
+    >>> with perturbed(model, LogNormalVariation(0.5), seed=0):
+    ...     logits = model(x)            # runs with deviated weights
+    >>> # weights restored here
+    """
+    injector = VariationInjector(model, variation, layers, protection_masks)
+    with injector.applied(seed):
+        yield model

@@ -1,0 +1,196 @@
+"""Stochastic models of programmed-weight deviation.
+
+Every model maps a nominal weight array to a perturbed array given an rng.
+The paper's experiments all use :class:`LogNormalVariation`; the others
+model alternative RRAM non-idealities for the ablation benches, and all can
+be plugged into the same injector, crossbar simulator, trainers and
+evaluators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class VariationModel:
+    """Base class: ``perturb`` maps nominal weights to deviated weights."""
+
+    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def scaled(self, factor: float) -> "VariationModel":
+        """Return a copy with the variation magnitude scaled by ``factor``
+        (used by sigma sweeps)."""
+        raise NotImplementedError
+
+    @property
+    def magnitude(self) -> float:
+        """Nominal magnitude parameter (sigma or rate) for reporting."""
+        raise NotImplementedError
+
+
+class NoVariation(VariationModel):
+    """Identity model (sigma = 0 column of Table I)."""
+
+    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return weights
+
+    def scaled(self, factor: float) -> "NoVariation":
+        return NoVariation()
+
+    @property
+    def magnitude(self) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return "NoVariation()"
+
+
+class LogNormalVariation(VariationModel):
+    """The paper's model (eq. 1-2): multiplicative log-normal deviation.
+
+    ``w = w_nominal * exp(theta)`` with ``theta ~ N(0, sigma^2)`` i.i.d. per
+    weight. Note the multiplier's mean is ``exp(sigma^2 / 2) > 1``, so large
+    sigma both spreads and systematically inflates weight magnitudes — one
+    reason deep networks collapse quickly (errors compound multiplicatively
+    through layers).
+    """
+
+    def __init__(self, sigma: float) -> None:
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        self.sigma = float(sigma)
+
+    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.sigma == 0.0:
+            return weights
+        theta = rng.normal(0.0, self.sigma, size=weights.shape)
+        return weights * np.exp(theta)
+
+    def multiplier_stats(self) -> tuple:
+        """(mean, std) of the log-normal multiplier ``exp(theta)`` in closed
+        form — checked against samples by the property tests."""
+        s2 = self.sigma**2
+        mean = np.exp(s2 / 2.0)
+        std = np.sqrt((np.exp(s2) - 1.0) * np.exp(s2))
+        return mean, std
+
+    def scaled(self, factor: float) -> "LogNormalVariation":
+        return LogNormalVariation(self.sigma * factor)
+
+    @property
+    def magnitude(self) -> float:
+        return self.sigma
+
+    def __repr__(self) -> str:
+        return f"LogNormalVariation(sigma={self.sigma})"
+
+
+class GaussianVariation(VariationModel):
+    """Additive Gaussian deviation relative to the per-tensor weight scale.
+
+    ``w = w_nominal + eps``, ``eps ~ N(0, (sigma * max|w|)^2)``. Models
+    conductance-step programming error that does not scale with the
+    individual weight.
+    """
+
+    def __init__(self, sigma: float) -> None:
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        self.sigma = float(sigma)
+
+    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.sigma == 0.0:
+            return weights
+        scale = np.abs(weights).max()
+        if scale == 0.0:
+            return weights
+        return weights + rng.normal(0.0, self.sigma * scale, size=weights.shape)
+
+    def scaled(self, factor: float) -> "GaussianVariation":
+        return GaussianVariation(self.sigma * factor)
+
+    @property
+    def magnitude(self) -> float:
+        return self.sigma
+
+    def __repr__(self) -> str:
+        return f"GaussianVariation(sigma={self.sigma})"
+
+
+class StateDependentVariation(VariationModel):
+    """Variation whose strength grows with the programmed conductance state.
+
+    RRAM cells programmed to higher conductance typically show larger
+    absolute fluctuation. We linearly interpolate the effective log-normal
+    sigma between ``sigma_low`` (at w = 0) and ``sigma_high`` (at the
+    per-tensor max |w|).
+    """
+
+    def __init__(self, sigma_low: float, sigma_high: float) -> None:
+        if sigma_low < 0 or sigma_high < 0:
+            raise ValueError("sigmas must be non-negative")
+        self.sigma_low = float(sigma_low)
+        self.sigma_high = float(sigma_high)
+
+    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        scale = np.abs(weights).max()
+        if scale == 0.0:
+            return weights
+        level = np.abs(weights) / scale
+        sigma = self.sigma_low + (self.sigma_high - self.sigma_low) * level
+        theta = rng.normal(0.0, 1.0, size=weights.shape) * sigma
+        return weights * np.exp(theta)
+
+    def scaled(self, factor: float) -> "StateDependentVariation":
+        return StateDependentVariation(
+            self.sigma_low * factor, self.sigma_high * factor
+        )
+
+    @property
+    def magnitude(self) -> float:
+        return self.sigma_high
+
+    def __repr__(self) -> str:
+        return (
+            f"StateDependentVariation(low={self.sigma_low}, high={self.sigma_high})"
+        )
+
+
+class StuckAtFaults(VariationModel):
+    """Hard faults: cells stuck at the lowest or highest conductance.
+
+    A fraction ``rate_low`` of weights collapses to 0 (stuck-at-low-G) and
+    ``rate_high`` saturates to +/- max|w| preserving sign (stuck-at-high-G).
+    """
+
+    def __init__(self, rate_low: float = 0.0, rate_high: float = 0.0) -> None:
+        for name, rate in (("rate_low", rate_low), ("rate_high", rate_high)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if rate_low + rate_high > 1.0:
+            raise ValueError("total fault rate exceeds 1")
+        self.rate_low = float(rate_low)
+        self.rate_high = float(rate_high)
+
+    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        out = weights.copy()
+        u = rng.random(size=weights.shape)
+        stuck_low = u < self.rate_low
+        stuck_high = (u >= self.rate_low) & (u < self.rate_low + self.rate_high)
+        out[stuck_low] = 0.0
+        scale = np.abs(weights).max()
+        out[stuck_high] = np.sign(weights[stuck_high]) * scale
+        return out
+
+    def scaled(self, factor: float) -> "StuckAtFaults":
+        return StuckAtFaults(
+            min(1.0, self.rate_low * factor), min(1.0, self.rate_high * factor)
+        )
+
+    @property
+    def magnitude(self) -> float:
+        return self.rate_low + self.rate_high
+
+    def __repr__(self) -> str:
+        return f"StuckAtFaults(low={self.rate_low}, high={self.rate_high})"

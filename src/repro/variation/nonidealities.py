@@ -1,0 +1,111 @@
+"""Additional RRAM non-idealities: programming quantization and drift.
+
+These extend the paper's log-normal model with two effects every RRAM
+deployment faces and that plug into the same ``VariationModel`` interface
+(injector, Monte-Carlo evaluator, trainers):
+
+- :class:`LevelQuantization` — cells program to one of ``2^bits`` discrete
+  conductance levels (multi-level-cell programming), so weights snap to a
+  per-tensor uniform grid. Deterministic.
+- :class:`ConductanceDrift` — retention drift: programmed conductance
+  relaxes over time as ``G(t) = G(t0) * (t/t0)^(-nu)`` (the standard
+  power-law drift of filamentary RRAM/PCM), with a log-normally distributed
+  per-cell drift exponent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.variation.models import VariationModel
+
+
+class LevelQuantization(VariationModel):
+    """Snap weights to ``2^bits`` uniform levels over [-max|w|, +max|w|].
+
+    Models multi-level-cell programming resolution. With the differential
+    conductance pair, level spacing is symmetric around zero; zero is
+    representable iff the level count is odd, so we use ``2^bits - 1``
+    levels (mid-tread quantizer), matching how sign-magnitude pairs are
+    programmed in practice.
+    """
+
+    def __init__(self, bits: int) -> None:
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        self.bits = int(bits)
+
+    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        scale = np.abs(weights).max()
+        if scale == 0.0:
+            return weights
+        levels = 2**self.bits - 1
+        step = 2.0 * scale / (levels - 1) if levels > 1 else 2.0 * scale
+        return np.clip(np.round(weights / step) * step, -scale, scale)
+
+    def scaled(self, factor: float) -> "LevelQuantization":
+        # Scaling maps to a resolution change; keep at least 1 bit.
+        return LevelQuantization(max(1, int(round(self.bits / max(factor, 1e-9)))))
+
+    @property
+    def magnitude(self) -> float:
+        # Magnitude reported as the relative step size (LSB / full scale).
+        return 1.0 / (2**self.bits - 1)
+
+    def __repr__(self) -> str:
+        return f"LevelQuantization(bits={self.bits})"
+
+
+class ConductanceDrift(VariationModel):
+    """Retention drift: ``w(t) = w * (t/t0)^(-nu)``, ``nu`` log-normal.
+
+    Parameters
+    ----------
+    time_ratio:
+        ``t / t0`` — how long after programming the array is read
+        (e.g. 1e4 for hours-after-seconds).
+    nu_median, nu_sigma:
+        Median and log-domain sigma of the per-cell drift exponent.
+        Typical filamentary-RRAM/PCM exponents are 0.005..0.1.
+    """
+
+    def __init__(
+        self,
+        time_ratio: float,
+        nu_median: float = 0.02,
+        nu_sigma: float = 0.4,
+    ) -> None:
+        if time_ratio < 1.0:
+            raise ValueError(f"time_ratio must be >= 1, got {time_ratio}")
+        if nu_median < 0 or nu_sigma < 0:
+            raise ValueError("drift exponent parameters must be non-negative")
+        self.time_ratio = float(time_ratio)
+        self.nu_median = float(nu_median)
+        self.nu_sigma = float(nu_sigma)
+
+    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.time_ratio == 1.0 or self.nu_median == 0.0:
+            return weights
+        nu = self.nu_median * np.exp(
+            rng.normal(0.0, self.nu_sigma, size=weights.shape)
+        )
+        return weights * self.time_ratio ** (-nu)
+
+    def mean_attenuation(self) -> float:
+        """Expected multiplicative attenuation at the median exponent."""
+        return float(self.time_ratio ** (-self.nu_median))
+
+    def scaled(self, factor: float) -> "ConductanceDrift":
+        return ConductanceDrift(
+            self.time_ratio, self.nu_median * factor, self.nu_sigma
+        )
+
+    @property
+    def magnitude(self) -> float:
+        return self.nu_median
+
+    def __repr__(self) -> str:
+        return (
+            f"ConductanceDrift(t/t0={self.time_ratio}, nu~LogN("
+            f"{self.nu_median}, {self.nu_sigma}))"
+        )

@@ -1,0 +1,156 @@
+"""Functional ops: values, shapes and probability-distribution properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor, functional as F
+
+
+class TestConv2d:
+    def test_output_shape_padding_same(self):
+        x = Tensor(np.zeros((2, 3, 8, 8)))
+        w = Tensor(np.zeros((5, 3, 3, 3)))
+        assert F.conv2d(x, w, None, 1, 1).shape == (2, 5, 8, 8)
+
+    def test_output_shape_valid_stride(self):
+        x = Tensor(np.zeros((1, 1, 7, 7)))
+        w = Tensor(np.zeros((2, 1, 3, 3)))
+        assert F.conv2d(x, w, None, 2, 0).shape == (1, 2, 3, 3)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 2, 4, 4))),
+                     Tensor(np.zeros((1, 3, 3, 3))))
+
+    def test_identity_kernel(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 1, 4, 4))
+        w = np.zeros((1, 1, 1, 1))
+        w[0, 0, 0, 0] = 1.0
+        out = F.conv2d(Tensor(x), Tensor(w))
+        np.testing.assert_allclose(out.data, x)
+
+    def test_bias_broadcast(self):
+        x = Tensor(np.zeros((1, 1, 2, 2)))
+        w = Tensor(np.zeros((3, 1, 1, 1)))
+        b = Tensor(np.array([1.0, 2.0, 3.0]))
+        out = F.conv2d(x, w, b)
+        np.testing.assert_allclose(out.data[0, :, 0, 0], [1.0, 2.0, 3.0])
+
+
+class TestPooling:
+    def test_avg_pool_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = F.avg_pool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool_values(self):
+        x = Tensor(np.arange(16.0).reshape(1, 1, 4, 4))
+        out = F.max_pool2d(x, 2)
+        np.testing.assert_allclose(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_adaptive_pool_identity_when_same_size(self):
+        x = np.random.default_rng(1).normal(size=(1, 2, 4, 4))
+        out = F.adaptive_avg_pool2d(Tensor(x), (4, 4))
+        np.testing.assert_allclose(out.data, x)
+
+    def test_adaptive_pool_matches_avg_pool_when_divisible(self):
+        x = np.random.default_rng(2).normal(size=(1, 2, 6, 6))
+        adaptive = F.adaptive_avg_pool2d(Tensor(x), (3, 3))
+        plain = F.avg_pool2d(Tensor(x), 2)
+        np.testing.assert_allclose(adaptive.data, plain.data, atol=1e-12)
+
+    def test_adaptive_pool_upsample_raises(self):
+        with pytest.raises(ValueError):
+            F.adaptive_avg_pool2d(Tensor(np.zeros((1, 1, 2, 2))), (4, 4))
+
+    def test_adaptive_pool_preserves_mean(self):
+        # Global average is invariant under adaptive pooling with equal
+        # cell coverage (e.g. divisible factors).
+        x = np.random.default_rng(3).normal(size=(1, 1, 8, 8))
+        out = F.adaptive_avg_pool2d(Tensor(x), (2, 2))
+        assert out.data.mean() == pytest.approx(x.mean())
+
+
+class TestSoftmax:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 5), st.integers(2, 7))
+    def test_rows_are_distributions(self, n, k):
+        x = np.random.default_rng(n * 10 + k).normal(scale=5, size=(n, k))
+        p = F.softmax(Tensor(x)).data
+        assert (p >= 0).all()
+        np.testing.assert_allclose(p.sum(axis=-1), np.ones(n), atol=1e-12)
+
+    def test_shift_invariance(self):
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        p1 = F.softmax(Tensor(x)).data
+        p2 = F.softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(p1, p2, atol=1e-12)
+
+    def test_log_softmax_consistency(self):
+        x = np.random.default_rng(1).normal(size=(3, 4))
+        np.testing.assert_allclose(
+            F.log_softmax(Tensor(x)).data,
+            np.log(F.softmax(Tensor(x)).data),
+            atol=1e-12,
+        )
+
+    def test_extreme_logits_finite(self):
+        x = Tensor(np.array([[1000.0, -1000.0, 0.0]]))
+        assert np.isfinite(F.log_softmax(x).data).all()
+        assert np.isfinite(F.softmax(x).data).all()
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_log_k(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = F.cross_entropy(logits, np.zeros(4, dtype=int))
+        assert loss.item() == pytest.approx(np.log(10))
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((3, 5), -100.0)
+        logits[np.arange(3), [0, 1, 2]] = 100.0
+        loss = F.cross_entropy(Tensor(logits), np.array([0, 1, 2]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_matches_manual_nll(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(6, 4))
+        labels = rng.integers(0, 4, size=6)
+        loss = F.cross_entropy(Tensor(logits), labels)
+        p = np.exp(logits) / np.exp(logits).sum(axis=1, keepdims=True)
+        manual = -np.log(p[np.arange(6), labels]).mean()
+        assert loss.item() == pytest.approx(manual)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = F.one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_allclose(out, np.eye(3)[[0, 2, 1]])
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+
+    def test_wrong_rank_raises(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        x = Tensor(np.ones(100))
+        rng = np.random.default_rng(0)
+        out = F.dropout(x, 0.5, rng, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_training_preserves_expectation(self):
+        x = Tensor(np.ones(20000))
+        rng = np.random.default_rng(0)
+        out = F.dropout(x, 0.3, rng, training=True)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.03)
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(2)), 1.0, np.random.default_rng(0), True)

@@ -1,0 +1,75 @@
+"""im2col/col2im lowering: shapes and adjointness (the backward's core)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd.im2col import col2im, conv_output_size, im2col
+
+
+class TestOutputSize:
+    def test_basic(self):
+        assert conv_output_size(5, 3, 1, 0) == 3
+        assert conv_output_size(5, 3, 1, 1) == 5
+        assert conv_output_size(6, 2, 2, 0) == 3
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2col:
+    def test_shape(self):
+        x = np.zeros((2, 3, 5, 5))
+        cols = im2col(x, (3, 3), 1, 1)
+        assert cols.shape == (2, 27, 25)
+
+    def test_values_simple(self):
+        # A 1x1x2x2 input with 2x2 kernel: the single column is the image.
+        x = np.arange(4.0).reshape(1, 1, 2, 2)
+        cols = im2col(x, (2, 2), 1, 0)
+        np.testing.assert_allclose(cols[0, :, 0], [0, 1, 2, 3])
+
+    def test_equals_naive_convolution(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(3, 2, 3, 3))
+        cols = im2col(x, (3, 3), 1, 0)
+        out = (w.reshape(3, -1) @ cols[0]).reshape(3, 3, 3)
+        # naive reference
+        ref = np.zeros((3, 3, 3))
+        for f in range(3):
+            for i in range(3):
+                for j in range(3):
+                    ref[f, i, j] = (x[0, :, i:i+3, j:j+3] * w[f]).sum()
+        np.testing.assert_allclose(out, ref, atol=1e-12)
+
+
+class TestAdjointness:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(1, 2),
+        c=st.integers(1, 3),
+        h=st.integers(4, 7),
+        k=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        padding=st.integers(0, 1),
+    )
+    def test_col2im_is_adjoint_of_im2col(self, n, c, h, k, stride, padding):
+        """<im2col(x), y> == <x, col2im(y)> for all x, y — the defining
+        property of the transpose map used in conv backward."""
+        rng = np.random.default_rng(n * 1000 + c * 100 + h * 10 + k)
+        x = rng.normal(size=(n, c, h, h))
+        cols = im2col(x, (k, k), stride, padding)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, (k, k), stride, padding)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_col2im_counts_window_overlaps(self):
+        # All-ones columns: each input pixel receives its window count.
+        x_shape = (1, 1, 3, 3)
+        cols = np.ones((1, 4, 4))  # 2x2 kernel, stride 1 -> 2x2 output
+        out = col2im(cols, x_shape, (2, 2), 1, 0)
+        expected = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]], dtype=float)
+        np.testing.assert_allclose(out[0, 0], expected)

@@ -1,0 +1,80 @@
+"""CLI entry points (smoke level: tiny settings, real code paths)."""
+
+import numpy as np
+import pytest
+
+from repro import cli
+
+
+@pytest.fixture(autouse=True)
+def small_datasets(monkeypatch):
+    """Swap the CLI's dataset factories for miniature versions."""
+    from repro.data import synth_mnist
+
+    def tiny_mnist():
+        return synth_mnist(train_per_class=6, test_per_class=3)
+
+    monkeypatch.setitem(cli._DATASETS, "synth_mnist", tiny_mnist)
+
+
+class TestTrainCLI:
+    def test_train_and_save(self, tmp_path, capsys):
+        path = str(tmp_path / "model.npz")
+        code = cli.train_main([
+            "--model", "mlp", "--dataset", "synth_mnist",
+            "--epochs", "2", "--save", path,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final val accuracy" in out
+        assert (tmp_path / "model.npz").exists()
+
+    def test_train_with_regularization(self, capsys):
+        code = cli.train_main([
+            "--model", "mlp", "--dataset", "synth_mnist",
+            "--epochs", "1", "--sigma", "0.5",
+        ])
+        assert code == 0
+
+    def test_unknown_dataset_exits(self):
+        with pytest.raises(SystemExit):
+            cli.train_main(["--dataset", "imagenet", "--epochs", "1"])
+
+
+class TestEvalCLI:
+    def test_eval_checkpoint(self, tmp_path, capsys):
+        path = str(tmp_path / "model.npz")
+        cli.train_main(["--model", "mlp", "--dataset", "synth_mnist",
+                        "--epochs", "1", "--save", path])
+        capsys.readouterr()
+        code = cli.eval_main([
+            "--model", "mlp", "--dataset", "synth_mnist",
+            "--checkpoint", path, "--sigma", "0.4", "--samples", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean acc" in out
+
+
+class TestSearchCLI:
+    def test_full_pipeline_smoke(self, capsys, monkeypatch):
+        # shrink the pipeline further for CI speed
+        from repro.core import config as config_module
+
+        original = config_module.fast_pipeline_config
+
+        def tiny_config(sigma=0.5, seed=0):
+            cfg = original(sigma=sigma, seed=seed)
+            cfg.train.epochs = 2
+            cfg.compensation.epochs = 1
+            cfg.rl.episodes = 1
+            cfg.eval.n_samples = 2
+            cfg.eval.search_samples = 1
+            cfg.eval.max_candidates = 1
+            return cfg
+
+        monkeypatch.setattr(cli, "fast_pipeline_config", tiny_config)
+        code = cli.search_main(["--model", "mlp", "--dataset", "synth_mnist"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovery ratio" in out

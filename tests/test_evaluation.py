@@ -1,0 +1,181 @@
+"""Evaluation: accuracy, Monte-Carlo protocol, layer sweeps, tracing."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.data import ArrayDataset
+from repro.evaluation import (
+    ErrorPropagationTracer, MonteCarloEvaluator, accuracy, layer_sweep,
+    recovery_ratio, select_candidates,
+)
+from repro.models import MLP
+from repro.variation import LogNormalVariation, NoVariation, weighted_layers
+
+
+class _ConstantModel(nn.Module):
+    """Predicts a fixed class for everything (accuracy is exactly the
+    fraction of that label)."""
+
+    def __init__(self, num_classes, winner):
+        super().__init__()
+        self.logits = np.eye(num_classes)[winner] * 10.0
+
+    def forward(self, x):
+        from repro.autograd import Tensor
+        n = x.shape[0]
+        return Tensor(np.tile(self.logits, (n, 1)))
+
+
+def _dataset(n=30, classes=3):
+    rng = np.random.default_rng(0)
+    return ArrayDataset(rng.normal(size=(n, 1, 2, 2)),
+                        np.arange(n) % classes)
+
+
+class TestAccuracy:
+    def test_constant_model_fraction(self):
+        ds = _dataset(30, 3)
+        model = _ConstantModel(3, winner=0)
+        assert accuracy(model, ds) == pytest.approx(10 / 30)
+
+    def test_restores_training_mode(self, mlp, blob_dataset):
+        mlp.train()
+        accuracy(mlp, blob_dataset)
+        assert mlp.training
+
+    def test_recovery_ratio(self):
+        assert recovery_ratio(0.95, 1.0) == pytest.approx(0.95)
+        with pytest.raises(ValueError):
+            recovery_ratio(0.5, 0.0)
+
+
+class TestMonteCarlo:
+    def test_no_variation_single_sample(self, mlp, blob_dataset):
+        ev = MonteCarloEvaluator(blob_dataset, n_samples=50, seed=0)
+        result = ev.evaluate(mlp, NoVariation())
+        assert len(result.accuracies) == 1
+        assert result.std == 0.0
+
+    def test_sample_count(self, mlp, blob_dataset):
+        ev = MonteCarloEvaluator(blob_dataset, n_samples=7, seed=0)
+        result = ev.evaluate(mlp, LogNormalVariation(0.3))
+        assert len(result.accuracies) == 7
+
+    def test_deterministic_given_seed(self, mlp, blob_dataset):
+        ev1 = MonteCarloEvaluator(blob_dataset, n_samples=5, seed=42)
+        ev2 = MonteCarloEvaluator(blob_dataset, n_samples=5, seed=42)
+        r1 = ev1.evaluate(mlp, LogNormalVariation(0.4))
+        r2 = ev2.evaluate(mlp, LogNormalVariation(0.4))
+        np.testing.assert_allclose(r1.accuracies, r2.accuracies)
+
+    def test_weights_restored(self, mlp, blob_dataset):
+        before = {n: p.data.copy() for n, p in mlp.named_parameters()}
+        ev = MonteCarloEvaluator(blob_dataset, n_samples=3, seed=0)
+        ev.evaluate(mlp, LogNormalVariation(0.5))
+        for name, param in mlp.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])
+
+    def test_stats_consistent(self):
+        from repro.evaluation.montecarlo import MCResult
+        r = MCResult([0.5, 0.7, 0.9])
+        assert r.mean == pytest.approx(0.7)
+        assert r.min == 0.5 and r.max == 0.9
+
+    def test_sweep_sigma_grid(self, mlp, blob_dataset):
+        ev = MonteCarloEvaluator(blob_dataset, n_samples=3, seed=0)
+        results = ev.sweep_sigma(mlp, LogNormalVariation(0.5), [0.1, 0.3])
+        assert len(results) == 2
+
+    def test_sweep_requires_positive_magnitude(self, mlp, blob_dataset):
+        ev = MonteCarloEvaluator(blob_dataset, n_samples=2, seed=0)
+        with pytest.raises(ValueError):
+            ev.sweep_sigma(mlp, NoVariation(), [0.1])
+
+    def test_invalid_n_samples(self, blob_dataset):
+        with pytest.raises(ValueError):
+            MonteCarloEvaluator(blob_dataset, n_samples=0)
+
+
+class TestLayerSweep:
+    def test_sweep_length_matches_layers(self, mlp, blob_dataset):
+        ev = MonteCarloEvaluator(blob_dataset, n_samples=2, seed=0)
+        results = layer_sweep(mlp, LogNormalVariation(0.3), ev)
+        assert [i for i, _ in results] == [1, 2]
+
+    def test_candidates_empty_for_robust_model(self, blob_dataset):
+        """With essentially zero variation every tail injection passes the
+        threshold, so no candidates are selected."""
+        model = MLP(4, [8], 3, flatten_input=True, seed=0)
+        ev = MonteCarloEvaluator(blob_dataset, n_samples=2, seed=0)
+        original = accuracy(model, blob_dataset)
+        candidates = select_candidates(
+            model, LogNormalVariation(1e-4), ev, original
+        )
+        assert candidates == []
+
+    def test_candidates_all_for_fragile_threshold(self, mlp, blob_dataset):
+        """Impossible threshold (>100% of original) marks every layer."""
+        ev = MonteCarloEvaluator(blob_dataset, n_samples=2, seed=0)
+        candidates = select_candidates(
+            mlp, LogNormalVariation(0.3), ev,
+            original_accuracy=1.0, threshold=2.0,
+        )
+        assert candidates == [0, 1]
+
+    def test_max_candidates_cap(self, mlp, blob_dataset):
+        ev = MonteCarloEvaluator(blob_dataset, n_samples=2, seed=0)
+        candidates = select_candidates(
+            mlp, LogNormalVariation(0.3), ev,
+            original_accuracy=1.0, threshold=2.0, max_candidates=1,
+        )
+        assert candidates == [0]
+
+
+class TestTracer:
+    def test_deviation_per_layer_count(self, mlp):
+        tracer = ErrorPropagationTracer(mlp)
+        x = np.random.default_rng(0).normal(size=(4, 1, 2, 2))
+        devs = tracer.trace(x, LogNormalVariation(0.3), seed=0)
+        assert len(devs) == 2
+        assert all(d.relative_error >= 0 for d in devs)
+
+    def test_zero_variation_zero_error(self, mlp):
+        tracer = ErrorPropagationTracer(mlp)
+        x = np.random.default_rng(0).normal(size=(4, 1, 2, 2))
+        devs = tracer.trace(x, LogNormalVariation(0.0), seed=0)
+        assert all(d.relative_error == pytest.approx(0.0) for d in devs)
+
+    def test_amplification_in_expansive_network(self):
+        """A deep net with norm >> 1 weights amplifies errors with depth;
+        a contractive one attenuates relative error growth."""
+        import repro.nn as nn
+        from repro.nn import init
+
+        def build(gain):
+            layers = []
+            for i in range(4):
+                lin = nn.Linear(16, 16, bias=False, seed=i)
+                lin.weight.data = init.orthogonal(
+                    (16, 16), np.random.default_rng(i), gain=gain
+                )
+                layers += [lin, nn.ReLU()]
+            return nn.Sequential(*layers)
+
+        x = np.random.default_rng(5).normal(size=(8, 16))
+        big = ErrorPropagationTracer(build(3.0)).amplification_profile(
+            x, LogNormalVariation(0.3), n_samples=4, seed=0
+        )
+        small = ErrorPropagationTracer(build(0.9)).amplification_profile(
+            x, LogNormalVariation(0.3), n_samples=4, seed=0
+        )
+        # Relative error at the last layer grows more in the expansive net.
+        assert big[-1] > small[-1]
+
+    def test_forward_hooks_removed(self, mlp):
+        tracer = ErrorPropagationTracer(mlp)
+        x = np.random.default_rng(0).normal(size=(2, 1, 2, 2))
+        tracer.trace(x, LogNormalVariation(0.2), seed=0)
+        # forward must be back to the class implementation (unhooked)
+        layer = weighted_layers(mlp)[0][1]
+        assert layer.forward.__qualname__.startswith("Linear")

@@ -1,0 +1,70 @@
+"""Margin analysis: the quantity error suppression protects."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.evaluation import (
+    logit_shift_under_variation, margin_report,
+)
+from repro.variation import LogNormalVariation, NoVariation
+
+
+class TestMarginReport:
+    def test_margins_nonnegative(self, mlp, blob_dataset):
+        report = margin_report(mlp, blob_dataset)
+        assert (report.margins >= 0).all()
+
+    def test_margin_count_matches_correct(self, mlp, blob_dataset):
+        report = margin_report(mlp, blob_dataset)
+        expected = int(round(report.clean_accuracy * len(blob_dataset)))
+        assert report.margins.size == expected
+
+    def test_fraction_below_monotone(self, mlp, blob_dataset):
+        report = margin_report(mlp, blob_dataset)
+        assert report.fraction_below(0.0) <= report.fraction_below(1e9)
+        assert report.fraction_below(1e9) == 1.0 or report.margins.size == 0
+
+    def test_confident_model_large_margins(self, blob_dataset):
+        """Train to convergence: margins grow well above zero."""
+        from repro.core import Trainer
+        from repro.models import MLP
+        from repro.optim import Adam
+
+        model = MLP(4, [16], 3, flatten_input=True, seed=0)
+        Trainer(model, Adam(list(model.parameters()), lr=0.01), seed=0).fit(
+            blob_dataset, epochs=30, batch_size=16
+        )
+        report = margin_report(model, blob_dataset)
+        assert report.clean_accuracy > 0.9
+        assert report.median > 1.0
+
+    def test_restores_training_mode(self, mlp, blob_dataset):
+        mlp.train()
+        margin_report(mlp, blob_dataset)
+        assert mlp.training
+
+
+class TestLogitShift:
+    def test_no_variation_zero_shift(self, mlp, blob_dataset):
+        shift = logit_shift_under_variation(
+            mlp, blob_dataset, NoVariation(), n_samples=2, seed=0
+        )
+        assert shift == pytest.approx(0.0)
+
+    def test_shift_grows_with_sigma(self, mlp, blob_dataset):
+        small = logit_shift_under_variation(
+            mlp, blob_dataset, LogNormalVariation(0.1), n_samples=4, seed=0
+        )
+        large = logit_shift_under_variation(
+            mlp, blob_dataset, LogNormalVariation(0.6), n_samples=4, seed=0
+        )
+        assert large > small > 0
+
+    def test_weights_restored(self, mlp, blob_dataset):
+        before = {n: p.data.copy() for n, p in mlp.named_parameters()}
+        logit_shift_under_variation(
+            mlp, blob_dataset, LogNormalVariation(0.5), n_samples=2, seed=0
+        )
+        for name, param in mlp.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])

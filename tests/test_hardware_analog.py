@@ -1,0 +1,92 @@
+"""Analog inference layers: equivalence to digital layers and conversion."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.autograd import Tensor
+from repro.compensation import CompensationPlan
+from repro.hardware import AnalogConv2d, AnalogLinear, analogize
+from repro.hardware.cost import CrossbarCostModel
+from repro.models import LeNet5
+from repro.variation import LogNormalVariation
+
+
+class TestAnalogLinear:
+    def test_ideal_matches_digital(self):
+        layer = nn.Linear(10, 6, seed=0)
+        analog = AnalogLinear(layer, tile_size=4)
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 10)))
+        np.testing.assert_allclose(analog(x).data, layer(x).data, atol=1e-9)
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 2, bias=False, seed=0)
+        analog = AnalogLinear(layer)
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 4)))
+        np.testing.assert_allclose(analog(x).data, layer(x).data, atol=1e-10)
+
+    def test_programmed_variation_changes_output(self):
+        layer = nn.Linear(10, 6, seed=0)
+        analog = AnalogLinear(layer).program(LogNormalVariation(0.4), seed=0)
+        x = Tensor(np.random.default_rng(2).normal(size=(3, 10)))
+        assert not np.allclose(analog(x).data, layer(x).data)
+
+
+class TestAnalogConv2d:
+    def test_ideal_matches_digital(self):
+        conv = nn.Conv2d(3, 5, 3, padding=1, seed=0)
+        analog = AnalogConv2d(conv, tile_size=8)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 3, 6, 6)))
+        np.testing.assert_allclose(analog(x).data, conv(x).data, atol=1e-9)
+
+    def test_stride_and_no_padding(self):
+        conv = nn.Conv2d(1, 2, 3, stride=2, padding=0, seed=0)
+        analog = AnalogConv2d(conv)
+        x = Tensor(np.random.default_rng(1).normal(size=(1, 1, 7, 7)))
+        np.testing.assert_allclose(analog(x).data, conv(x).data, atol=1e-9)
+
+
+class TestAnalogize:
+    def test_whole_model_equivalent_when_ideal(self, lenet):
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 1, 16, 16)))
+        expected = lenet(x).data.copy()
+        analogize(lenet, tile_size=64)
+        np.testing.assert_allclose(lenet(x).data, expected, atol=1e-8)
+
+    def test_all_weighted_layers_replaced(self, lenet):
+        analogize(lenet)
+        kinds = [type(m).__name__ for m in lenet.modules()]
+        assert "Conv2d" not in kinds and "Linear" not in kinds
+        assert "AnalogConv2d" in kinds and "AnalogLinear" in kinds
+
+    def test_digital_compensation_preserved(self, lenet):
+        comp = CompensationPlan({0: 0.5}).apply(lenet, seed=0)
+        analogize(comp)
+        digital = [m for m in comp.modules() if getattr(m, "digital", False)]
+        assert digital
+        assert all(type(m).__name__ == "Conv2d" for m in digital)
+
+    def test_variation_at_conversion(self, lenet):
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 1, 16, 16)))
+        expected = lenet(x).data.copy()
+        analogize(lenet, variation=LogNormalVariation(0.5), seed=1)
+        assert not np.allclose(lenet(x).data, expected)
+
+
+class TestCostModel:
+    def test_macs_counted(self, lenet):
+        report = CrossbarCostModel().estimate(lenet, spatial_sites=16)
+        assert report.analog_macs > 0
+        assert report.energy_pj > 0
+        assert report.area_mm2 > 0
+
+    def test_compensation_counted_as_digital(self, lenet):
+        comp = CompensationPlan({0: 1.0}).apply(lenet, seed=0)
+        report = CrossbarCostModel().estimate(comp, spatial_sites=16)
+        assert report.digital_macs > 0
+        assert 0 < report.digital_fraction < 0.5  # marginal vs analog
+
+    def test_plain_model_all_analog(self, lenet):
+        report = CrossbarCostModel().estimate(lenet)
+        assert report.digital_macs == 0
+        assert report.digital_fraction == 0.0

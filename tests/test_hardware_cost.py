@@ -1,0 +1,65 @@
+"""Crossbar cost model: MAC counting, energy split, area accounting."""
+
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.compensation import CompensationPlan
+from repro.hardware.cost import CostReport, CrossbarCostModel
+from repro.models import LeNet5, VGG
+
+
+class TestMACCounting:
+    def test_linear_macs(self):
+        model = nn.Sequential(nn.Linear(10, 4, seed=0))
+        report = CrossbarCostModel().estimate(model)
+        assert report.analog_macs == 40
+
+    def test_conv_macs_scale_with_spatial(self):
+        model = nn.Sequential(nn.Conv2d(3, 8, 3, seed=0))
+        small = CrossbarCostModel().estimate(model, spatial_sites=4)
+        large = CrossbarCostModel().estimate(model, spatial_sites=16)
+        assert large.analog_macs == 4 * small.analog_macs
+
+    def test_conv_mac_formula(self):
+        model = nn.Sequential(nn.Conv2d(2, 4, 3, seed=0))
+        report = CrossbarCostModel().estimate(model, spatial_sites=5)
+        assert report.analog_macs == 4 * 2 * 9 * 5
+
+
+class TestEnergyAndArea:
+    def test_energy_positive_components(self):
+        model = LeNet5(seed=0)
+        report = CrossbarCostModel().estimate(model, spatial_sites=16)
+        assert report.energy_pj > 0
+        assert report.crossbar_reads > 0
+        assert len(report.per_layer) == 5
+
+    def test_area_proportional_to_cells(self):
+        small = CrossbarCostModel().estimate(
+            nn.Sequential(nn.Linear(10, 10, seed=0)))
+        large = CrossbarCostModel().estimate(
+            nn.Sequential(nn.Linear(20, 20, seed=0)))
+        assert large.area_mm2 == pytest.approx(4 * small.area_mm2)
+
+    def test_deeper_model_costs_more(self):
+        lenet = CrossbarCostModel().estimate(LeNet5(seed=0), spatial_sites=16)
+        vgg = CrossbarCostModel().estimate(
+            VGG("vgg16", input_size=16, width=0.125, seed=0), spatial_sites=16
+        )
+        assert vgg.energy_pj > lenet.energy_pj
+
+
+class TestDigitalSplit:
+    def test_compensation_marginal_energy(self):
+        """The paper's claim: compensation runs digitally at marginal cost
+        relative to the analog MAC workload."""
+        model = LeNet5(width_multiplier=2.0, seed=0)
+        comp = CompensationPlan({0: 0.5}).apply(model, seed=0)
+        report = CrossbarCostModel().estimate(comp, spatial_sites=144)
+        assert 0 < report.digital_fraction < 0.10
+
+    def test_report_defaults(self):
+        report = CostReport()
+        assert report.digital_fraction == 0.0
+        assert report.energy_pj == 0.0

@@ -1,0 +1,129 @@
+"""Crossbar MVM: ideal exactness, converters, noise, programming variation."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import ADC, DAC, Crossbar
+from repro.variation import LogNormalVariation, StuckAtFaults
+
+
+@pytest.fixture()
+def weights():
+    return np.random.default_rng(0).normal(size=(8, 12))
+
+
+class TestIdealChain:
+    def test_matches_dense_matmul(self, weights):
+        xbar = Crossbar(weights)
+        x = np.random.default_rng(1).normal(size=(5, 12))
+        np.testing.assert_allclose(xbar.mvm(x), x @ weights.T, atol=1e-10)
+
+    def test_vector_input_squeezed(self, weights):
+        xbar = Crossbar(weights)
+        x = np.random.default_rng(2).normal(size=12)
+        out = xbar.mvm(x)
+        assert out.shape == (8,)
+        np.testing.assert_allclose(out, weights @ x, atol=1e-10)
+
+    def test_effective_weights_nominal(self, weights):
+        np.testing.assert_allclose(
+            Crossbar(weights).effective_weights(), weights, atol=1e-12
+        )
+
+    def test_dim_mismatch_raises(self, weights):
+        with pytest.raises(ValueError):
+            Crossbar(weights).mvm(np.zeros(5))
+
+    def test_non_2d_weights_raise(self):
+        with pytest.raises(ValueError):
+            Crossbar(np.zeros(4))
+
+
+class TestConverters:
+    def test_adc_quantization_bounded_error(self, weights):
+        bits = 10
+        xbar = Crossbar(weights, adc=ADC(bits))
+        x = np.random.default_rng(3).normal(size=(4, 12))
+        exact = x @ weights.T
+        out = xbar.mvm(x)
+        # Full scale spans worst-case column current; error <= 1 LSB of it.
+        span = xbar.mapper.g_max - xbar.mapper.g_min
+        full_scale = np.abs(x).max() * span * 12 / span * xbar._scale
+        lsb = 2 * full_scale / (2**bits - 1)
+        assert np.abs(out - exact).max() <= lsb
+
+    def test_more_adc_bits_reduce_error(self, weights):
+        x = np.random.default_rng(4).normal(size=(4, 12))
+        exact = x @ weights.T
+        errs = []
+        for bits in (4, 8, 12):
+            out = Crossbar(weights, adc=ADC(bits)).mvm(x)
+            errs.append(np.abs(out - exact).max())
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_dac_quantization_changes_input_resolution(self, weights):
+        x = np.random.default_rng(5).normal(size=(4, 12))
+        coarse = Crossbar(weights, dac=DAC(2)).mvm(x)
+        fine = Crossbar(weights, dac=DAC(12)).mvm(x)
+        exact = x @ weights.T
+        assert np.abs(fine - exact).max() < np.abs(coarse - exact).max()
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            ADC(0)
+
+
+class TestReadNoise:
+    def test_zero_noise_deterministic(self, weights):
+        xbar = Crossbar(weights)
+        x = np.random.default_rng(6).normal(size=(3, 12))
+        np.testing.assert_allclose(xbar.mvm(x), xbar.mvm(x))
+
+    def test_noise_varies_between_reads(self, weights):
+        xbar = Crossbar(weights, read_noise_sigma=0.01)
+        xbar.seed_read_noise(0)
+        x = np.random.default_rng(7).normal(size=(3, 12))
+        a, b = xbar.mvm(x), xbar.mvm(x)
+        assert not np.allclose(a, b)
+
+    def test_negative_noise_raises(self, weights):
+        with pytest.raises(ValueError):
+            Crossbar(weights, read_noise_sigma=-0.1)
+
+
+class TestProgramming:
+    def test_lognormal_programming_changes_effective_weights(self, weights):
+        xbar = Crossbar(weights, clip_conductance=False)
+        xbar.program(LogNormalVariation(0.3), seed=0)
+        eff = xbar.effective_weights()
+        assert not np.allclose(eff, weights)
+        # signs preserved by multiplicative model on each plane
+        np.testing.assert_array_equal(np.sign(eff), np.sign(weights))
+
+    def test_conductance_domain_matches_weight_domain_stats(self, weights):
+        """With one-sided differential coding and no clipping, log-normal
+        conductance variation is exactly weight-domain log-normal (the
+        paper's eq. 1-2)."""
+        xbar = Crossbar(weights, clip_conductance=False)
+        xbar.program(LogNormalVariation(0.4), seed=1)
+        eff = xbar.effective_weights()
+        mask = np.abs(weights) > 1e-3
+        theta = np.log(np.abs(eff[mask] / weights[mask]))
+        assert theta.std() == pytest.approx(0.4, rel=0.25)
+
+    def test_program_seed_reproducible(self, weights):
+        a = Crossbar(weights).program(LogNormalVariation(0.3), seed=5)
+        b = Crossbar(weights).program(LogNormalVariation(0.3), seed=5)
+        np.testing.assert_allclose(a.effective_weights(), b.effective_weights())
+
+    def test_clipping_bounds_conductance(self, weights):
+        xbar = Crossbar(weights, clip_conductance=True)
+        xbar.program(LogNormalVariation(1.5), seed=2)  # huge variation
+        assert (xbar.g_pos <= xbar.mapper.g_max + 1e-18).all()
+        assert (xbar.g_neg <= xbar.mapper.g_max + 1e-18).all()
+
+    def test_stuck_at_faults_programmable(self, weights):
+        xbar = Crossbar(weights)
+        xbar.program(StuckAtFaults(rate_low=0.3), seed=3)
+        eff = xbar.effective_weights()
+        assert not np.allclose(eff, weights)

@@ -1,0 +1,72 @@
+"""IR-drop (wire resistance) modeling in the crossbar."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import Crossbar
+
+
+class TestIRDrop:
+    def test_zero_resistance_exact(self):
+        w = np.random.default_rng(0).normal(size=(6, 8))
+        xbar = Crossbar(w, wire_resistance=0.0)
+        x = np.random.default_rng(1).normal(size=(3, 8))
+        np.testing.assert_allclose(xbar.mvm(x), x @ w.T, atol=1e-10)
+
+    def test_resistance_attenuates_output(self):
+        w = np.ones((4, 4))
+        x = np.ones((1, 4))
+        ideal = Crossbar(w, wire_resistance=0.0).mvm(x)
+        dropped = Crossbar(w, wire_resistance=200.0).mvm(x)
+        assert np.abs(dropped).sum() < np.abs(ideal).sum()
+
+    def test_attenuation_grows_with_distance(self):
+        w = np.ones((8, 8))
+        xbar = Crossbar(w, wire_resistance=500.0)
+        att = xbar._ir_drop_attenuation()
+        # Farther cells (larger i+j) attenuate more.
+        assert att[0, 0] > att[7, 7]
+        assert (att > 0).all() and (att <= 1).all()
+
+    def test_attenuation_monotone_along_row_and_column(self):
+        w = np.ones((5, 5))
+        att = Crossbar(w, wire_resistance=300.0)._ir_drop_attenuation()
+        for i in range(5):
+            assert all(np.diff(att[i]) <= 1e-15)  # along the row
+            assert all(np.diff(att[:, i]) <= 1e-15)  # along the column
+
+    def test_more_resistance_more_error(self):
+        rng = np.random.default_rng(2)
+        w = rng.normal(size=(8, 8))
+        x = rng.normal(size=(4, 8))
+        exact = x @ w.T
+        errs = []
+        for r in (0.0, 100.0, 1000.0):
+            out = Crossbar(w, wire_resistance=r).mvm(x)
+            errs.append(np.abs(out - exact).max())
+        assert errs[0] == pytest.approx(0.0, abs=1e-10)
+        assert errs[2] > errs[1] > errs[0]
+
+    def test_negative_resistance_raises(self):
+        with pytest.raises(ValueError):
+            Crossbar(np.ones((2, 2)), wire_resistance=-1.0)
+
+    def test_small_array_suffers_less(self):
+        """Tiling mitigates IR drop: a small tile's worst-case path is
+        shorter, so its relative error is lower — the architectural reason
+        crossbars are bounded in practice."""
+        rng = np.random.default_rng(3)
+        w = rng.normal(size=(32, 32))
+        x = rng.normal(size=(2, 32))
+        exact = x @ w.T
+        big = Crossbar(w, wire_resistance=200.0).mvm(x)
+        from repro.hardware import TiledCrossbarArray
+        # 8x8 tiles with the same wire resistance per segment
+        tiled = TiledCrossbarArray(w, 8, 8)
+        for row in tiled.tiles:
+            for tile in row:
+                tile.wire_resistance = 200.0
+        small = tiled.mvm(x)
+        big_err = np.abs(big - exact).mean()
+        small_err = np.abs(small - exact).mean()
+        assert small_err < big_err

@@ -1,0 +1,97 @@
+"""Tiled crossbar arrays: partitioning and digital accumulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import TiledCrossbarArray, tile_ranges
+from repro.variation import LogNormalVariation
+
+
+class TestTileRanges:
+    def test_exact_division(self):
+        assert tile_ranges(8, 4) == [(0, 4), (4, 8)]
+
+    def test_remainder_tile(self):
+        assert tile_ranges(10, 4) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_single_tile(self):
+        assert tile_ranges(3, 100) == [(0, 3)]
+
+    def test_invalid_tile_size(self):
+        with pytest.raises(ValueError):
+            tile_ranges(4, 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 200), st.integers(1, 64))
+    def test_ranges_cover_without_overlap(self, size, tile):
+        ranges = tile_ranges(size, tile)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == size
+        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+            assert a1 == b0
+        assert all(0 < stop - start <= tile for start, stop in ranges)
+
+
+class TestTiledMVM:
+    def test_matches_dense_with_small_tiles(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(17, 23))
+        arr = TiledCrossbarArray(w, tile_rows=5, tile_cols=7)
+        assert arr.num_tiles == 4 * 4
+        x = rng.normal(size=(6, 23))
+        np.testing.assert_allclose(arr.mvm(x), x @ w.T, atol=1e-9)
+
+    def test_vector_input(self):
+        rng = np.random.default_rng(1)
+        w = rng.normal(size=(5, 9))
+        arr = TiledCrossbarArray(w, tile_rows=2, tile_cols=4)
+        x = rng.normal(size=9)
+        np.testing.assert_allclose(arr.mvm(x), w @ x, atol=1e-10)
+
+    def test_effective_weights_stitching(self):
+        rng = np.random.default_rng(2)
+        w = rng.normal(size=(11, 13))
+        arr = TiledCrossbarArray(w, tile_rows=4, tile_cols=4)
+        np.testing.assert_allclose(arr.effective_weights(), w, atol=1e-12)
+
+    def test_dim_mismatch_raises(self):
+        arr = TiledCrossbarArray(np.zeros((4, 6)))
+        with pytest.raises(ValueError):
+            arr.mvm(np.zeros(5))
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError):
+            TiledCrossbarArray(np.zeros(4))
+
+
+class TestTiledProgramming:
+    def test_tiles_receive_independent_variations(self):
+        rng = np.random.default_rng(3)
+        w = rng.normal(size=(8, 8)) + 2.0  # keep away from 0
+        arr = TiledCrossbarArray(w, tile_rows=4, tile_cols=4,
+                                 clip_conductance=False)
+        arr.program(LogNormalVariation(0.3), seed=0)
+        eff = arr.effective_weights()
+        ratios = eff / w
+        # all four tiles perturbed differently
+        quads = [ratios[:4, :4], ratios[:4, 4:], ratios[4:, :4], ratios[4:, 4:]]
+        for a, b in zip(quads, quads[1:]):
+            assert not np.allclose(a, b)
+
+    def test_program_seed_reproducible(self):
+        w = np.random.default_rng(4).normal(size=(6, 6))
+        a = TiledCrossbarArray(w, 3, 3).program(LogNormalVariation(0.4), seed=9)
+        b = TiledCrossbarArray(w, 3, 3).program(LogNormalVariation(0.4), seed=9)
+        np.testing.assert_allclose(a.effective_weights(), b.effective_weights())
+
+    def test_tiled_variation_statistics_match_single(self):
+        """Tiling must not change the variation distribution (shared scale)."""
+        rng = np.random.default_rng(5)
+        w = rng.normal(size=(32, 32))
+        arr = TiledCrossbarArray(w, 8, 8, clip_conductance=False)
+        arr.program(LogNormalVariation(0.4), seed=1)
+        eff = arr.effective_weights()
+        mask = np.abs(w) > 1e-2
+        theta = np.log(np.abs(eff[mask] / w[mask]))
+        assert theta.std() == pytest.approx(0.4, rel=0.2)

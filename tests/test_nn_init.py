@@ -1,0 +1,63 @@
+"""Initialisation schemes: statistical and algebraic properties."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestFans:
+    def test_linear_shape(self):
+        assert init._fan_in_out((4, 7)) == (7, 4)
+
+    def test_conv_shape(self):
+        assert init._fan_in_out((8, 3, 5, 5)) == (75, 200)
+
+    def test_bad_rank(self):
+        with pytest.raises(ValueError):
+            init._fan_in_out((3,))
+
+
+class TestKaiming:
+    def test_std_matches_fan_in(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_normal((256, 512), rng)
+        expected = np.sqrt(2.0 / 512)
+        assert w.std() == pytest.approx(expected, rel=0.05)
+
+
+class TestXavier:
+    def test_bound_respected(self):
+        rng = np.random.default_rng(0)
+        w = init.xavier_uniform((64, 64), rng)
+        bound = np.sqrt(6.0 / 128)
+        assert np.abs(w).max() <= bound
+
+
+class TestOrthogonal:
+    def test_rows_orthonormal_wide(self):
+        rng = np.random.default_rng(0)
+        w = init.orthogonal((4, 10), rng)
+        np.testing.assert_allclose(w @ w.T, np.eye(4), atol=1e-10)
+
+    def test_cols_orthonormal_tall(self):
+        rng = np.random.default_rng(0)
+        w = init.orthogonal((10, 4), rng)
+        np.testing.assert_allclose(w.T @ w, np.eye(4), atol=1e-10)
+
+    def test_gain_scales_singular_values(self):
+        rng = np.random.default_rng(0)
+        w = init.orthogonal((5, 5), rng, gain=0.3)
+        s = np.linalg.svd(w, compute_uv=False)
+        np.testing.assert_allclose(s, np.full(5, 0.3), atol=1e-10)
+
+    def test_conv_shape_flattening(self):
+        rng = np.random.default_rng(0)
+        w = init.orthogonal((6, 2, 3, 3), rng)
+        flat = w.reshape(6, -1)
+        np.testing.assert_allclose(flat @ flat.T, np.eye(6), atol=1e-10)
+
+
+class TestZeros:
+    def test_zeros(self):
+        assert (init.zeros((3, 3)) == 0).all()

@@ -1,0 +1,143 @@
+"""Optimizers: convergence, state handling, frozen-parameter skipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import (
+    SGD, Adam, RMSprop, clip_grad_norm,
+    ConstantSchedule, CosineSchedule, StepSchedule,
+)
+
+
+def _quadratic_step(param):
+    """Gradient of f(w) = 0.5 ||w - 3||^2."""
+    param.grad = param.data - 3.0
+
+
+def _optimize(opt_cls, steps=300, **kwargs):
+    p = Parameter(np.zeros(4))
+    opt = opt_cls([p], **kwargs)
+    for _ in range(steps):
+        opt.zero_grad()
+        _quadratic_step(p)
+        opt.step()
+    return p
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = _optimize(SGD, lr=0.1)
+        np.testing.assert_allclose(p.data, np.full(4, 3.0), atol=1e-4)
+
+    def test_momentum_converges(self):
+        p = _optimize(SGD, lr=0.05, momentum=0.9)
+        np.testing.assert_allclose(p.data, np.full(4, 3.0), atol=1e-3)
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.full(3, 10.0))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.zeros(3)
+        opt.step()
+        assert (np.abs(p.data) < 10.0).all()
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = _optimize(Adam, lr=0.05)
+        np.testing.assert_allclose(p.data, np.full(4, 3.0), atol=1e-3)
+
+    def test_bias_correction_first_step(self):
+        # After one step with unit gradient the update is exactly lr.
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.ones(1)
+        opt.step()
+        assert p.data[0] == pytest.approx(-0.1, rel=1e-5)
+
+
+class TestRMSprop:
+    def test_converges_on_quadratic(self):
+        p = _optimize(RMSprop, lr=0.02)
+        np.testing.assert_allclose(p.data, np.full(4, 3.0), atol=0.05)
+
+
+class TestCommon:
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_raises(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_frozen_params_skipped(self):
+        p = Parameter(np.zeros(2))
+        p.freeze()
+        p.grad = np.ones(2)  # grad present but frozen
+        opt = SGD([p], lr=1.0)
+        opt.step()
+        np.testing.assert_allclose(p.data, np.zeros(2))
+
+    def test_none_grad_skipped(self):
+        p = Parameter(np.zeros(2))
+        SGD([p], lr=1.0).step()  # must not raise
+        np.testing.assert_allclose(p.data, np.zeros(2))
+
+
+class TestClipGradNorm:
+    def test_clips_to_max(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert pre == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_no_clip_below_max(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 0.1)
+        clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_allclose(p.grad, np.full(4, 0.1))
+
+
+class TestSchedulers:
+    def _opt(self):
+        return SGD([Parameter(np.zeros(1))], lr=1.0)
+
+    def test_constant(self):
+        opt = self._opt()
+        sched = ConstantSchedule(opt)
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == 1.0
+
+    def test_step_decay(self):
+        opt = self._opt()
+        sched = StepSchedule(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == pytest.approx(1.0)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_cosine_endpoints(self):
+        opt = self._opt()
+        sched = CosineSchedule(opt, total_epochs=10, min_lr=0.0)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = self._opt()
+        sched = CosineSchedule(opt, total_epochs=8)
+        lrs = [sched.step() for _ in range(8)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            StepSchedule(self._opt(), step_size=0)
+        with pytest.raises(ValueError):
+            CosineSchedule(self._opt(), total_epochs=0)

@@ -1,0 +1,106 @@
+"""Utilities: rng discipline, records, tables, timing, logging."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    ResultStore, Timer, format_table, get_logger, new_rng, set_verbosity,
+    spawn_rngs,
+)
+from repro.utils.rng import RngMixin
+
+
+class TestRng:
+    def test_new_rng_from_int(self):
+        a, b = new_rng(5), new_rng(5)
+        assert a.random() == b.random()
+
+    def test_new_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert new_rng(gen) is gen
+
+    def test_spawn_deterministic(self):
+        a = spawn_rngs(7, 3)
+        b = spawn_rngs(7, 3)
+        for x, y in zip(a, b):
+            assert x.random() == y.random()
+
+    def test_spawn_streams_independent(self):
+        streams = spawn_rngs(7, 2)
+        assert streams[0].random() != streams[1].random()
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_mixin_reseed(self):
+        class Thing(RngMixin):
+            pass
+
+        t = Thing()
+        t.reseed(3)
+        first = t.rng.random()
+        t.reseed(3)
+        assert t.rng.random() == first
+
+
+class TestRecords:
+    def test_add_and_find(self):
+        store = ResultStore()
+        store.add("exp1", accuracy=0.9)
+        assert store.find("exp1")["accuracy"] == 0.9
+        assert store.find("nope") is None
+        assert len(store) == 1
+
+    def test_json_roundtrip(self, tmp_path):
+        store = ResultStore()
+        store.add("a", x=1.5, label="foo")
+        store.add("b", x=2.5)
+        path = tmp_path / "results.json"
+        store.to_json(path)
+        loaded = ResultStore.from_json(path)
+        assert len(loaded) == 2
+        assert loaded.find("a")["label"] == "foo"
+
+    def test_record_setitem(self):
+        store = ResultStore()
+        rec = store.add("r")
+        rec["k"] = 3
+        assert rec.as_dict() == {"name": "r", "k": 3}
+
+
+class TestTables:
+    def test_alignment_and_separator(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 20.0]])
+        lines = text.split("\n")
+        assert len(lines) == 4
+        assert "-+-" in lines[1]
+        assert "1.50" in text
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+
+class TestTimer:
+    def test_elapsed_positive(self):
+        with Timer() as t:
+            sum(range(10000))
+        assert t.elapsed > 0
+
+    def test_lap_while_running(self):
+        with Timer() as t:
+            assert t.lap() >= 0
+
+
+class TestLogging:
+    def test_namespaced(self):
+        logger = get_logger("sub")
+        assert logger.name == "repro.sub"
+
+    def test_set_verbosity_idempotent(self):
+        set_verbosity(logging.INFO)
+        set_verbosity(logging.INFO)
+        assert len(logging.getLogger("repro").handlers) == 1

@@ -1,0 +1,135 @@
+"""Variation models: closed-form statistics and behavioural contracts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.variation import (
+    GaussianVariation, LogNormalVariation, NoVariation,
+    StateDependentVariation, StuckAtFaults,
+)
+
+
+class TestLogNormal:
+    def test_sigma_zero_identity(self):
+        w = np.random.default_rng(0).normal(size=(5, 5))
+        out = LogNormalVariation(0.0).perturb(w, np.random.default_rng(1))
+        np.testing.assert_allclose(out, w)
+
+    def test_negative_sigma_raises(self):
+        with pytest.raises(ValueError):
+            LogNormalVariation(-0.1)
+
+    def test_preserves_sign(self):
+        w = np.array([-1.0, 2.0, -3.0, 4.0])
+        out = LogNormalVariation(0.5).perturb(w, np.random.default_rng(2))
+        np.testing.assert_array_equal(np.sign(out), np.sign(w))
+
+    def test_zero_weights_stay_zero(self):
+        w = np.zeros(10)
+        out = LogNormalVariation(0.5).perturb(w, np.random.default_rng(3))
+        np.testing.assert_allclose(out, 0.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(0.05, 0.8))
+    def test_multiplier_stats_match_closed_form(self, sigma):
+        """Empirical mean/std of exp(theta) must match the log-normal
+        closed form used by the Lipschitz bound (eq. 10)."""
+        model = LogNormalVariation(sigma)
+        w = np.ones(200_000)
+        out = model.perturb(w, np.random.default_rng(99))
+        mean, std = model.multiplier_stats()
+        assert out.mean() == pytest.approx(mean, rel=0.02)
+        assert out.std() == pytest.approx(std, rel=0.05)
+
+    def test_scaled_changes_sigma(self):
+        assert LogNormalVariation(0.2).scaled(2.5).sigma == pytest.approx(0.5)
+
+    def test_magnitude(self):
+        assert LogNormalVariation(0.3).magnitude == 0.3
+
+    def test_independent_draws_per_weight(self):
+        w = np.ones(1000)
+        out = LogNormalVariation(0.5).perturb(w, np.random.default_rng(0))
+        assert np.unique(out).size > 990
+
+
+class TestGaussian:
+    def test_relative_to_max_weight(self):
+        w = np.full(100_000, 2.0)
+        out = GaussianVariation(0.1).perturb(w, np.random.default_rng(0))
+        assert (out - w).std() == pytest.approx(0.1 * 2.0, rel=0.05)
+
+    def test_zero_matrix_unchanged(self):
+        w = np.zeros(10)
+        np.testing.assert_allclose(
+            GaussianVariation(0.5).perturb(w, np.random.default_rng(0)), w
+        )
+
+    def test_sigma_zero_identity(self):
+        w = np.ones(5)
+        np.testing.assert_allclose(
+            GaussianVariation(0.0).perturb(w, np.random.default_rng(0)), w
+        )
+
+
+class TestStateDependent:
+    def test_small_weights_less_perturbed(self):
+        rng = np.random.default_rng(0)
+        w = np.concatenate([np.full(50_000, 0.01), np.full(50_000, 1.0)])
+        out = StateDependentVariation(0.05, 0.6).perturb(w, rng)
+        rel = np.abs(np.log(out / w))
+        small_dev = rel[:50_000].std()
+        large_dev = rel[50_000:].std()
+        assert large_dev > 3 * small_dev
+
+    def test_negative_sigma_raises(self):
+        with pytest.raises(ValueError):
+            StateDependentVariation(-0.1, 0.5)
+
+
+class TestStuckAt:
+    def test_rates_respected(self):
+        w = np.ones(200_000)
+        model = StuckAtFaults(rate_low=0.05, rate_high=0.02)
+        out = model.perturb(w, np.random.default_rng(0))
+        assert (out == 0).mean() == pytest.approx(0.05, abs=0.005)
+        # stuck-high saturates to max|w| = 1 here, same as nominal; count
+        # via a scaled matrix instead
+        w2 = np.full(200_000, 0.5)
+        w2[0] = 1.0  # defines the scale
+        out2 = model.perturb(w2, np.random.default_rng(1))
+        assert (out2 == 1.0).mean() == pytest.approx(0.02, abs=0.005)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            StuckAtFaults(rate_low=1.2)
+        with pytest.raises(ValueError):
+            StuckAtFaults(rate_low=0.7, rate_high=0.6)
+
+    def test_sign_preserved_for_stuck_high(self):
+        w = -np.ones(1000)
+        out = StuckAtFaults(rate_high=0.5).perturb(w, np.random.default_rng(0))
+        assert (out <= 0).all()
+
+
+class TestNoVariation:
+    def test_identity_and_magnitude(self):
+        w = np.random.default_rng(0).normal(size=(3, 3))
+        model = NoVariation()
+        assert model.perturb(w, np.random.default_rng(1)) is w
+        assert model.magnitude == 0.0
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("model", [
+        LogNormalVariation(0.5),
+        GaussianVariation(0.3),
+        StateDependentVariation(0.1, 0.5),
+        StuckAtFaults(0.1, 0.1),
+    ])
+    def test_same_seed_same_draw(self, model):
+        w = np.random.default_rng(0).normal(size=(10, 10))
+        a = model.perturb(w, np.random.default_rng(42))
+        b = model.perturb(w, np.random.default_rng(42))
+        np.testing.assert_allclose(a, b)

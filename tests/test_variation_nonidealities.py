@@ -1,0 +1,112 @@
+"""Programming-level quantization and retention-drift models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.variation import ConductanceDrift, LevelQuantization
+
+
+class TestLevelQuantization:
+    def test_values_on_grid(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(50, 50))
+        q = LevelQuantization(bits=3)
+        out = q.perturb(w, rng)
+        scale = np.abs(w).max()
+        step = 2 * scale / (2**3 - 2)
+        ratios = out / step
+        np.testing.assert_allclose(ratios, np.round(ratios), atol=1e-9)
+
+    def test_level_count_respected(self):
+        rng = np.random.default_rng(1)
+        w = rng.normal(size=100_000)
+        out = LevelQuantization(bits=2).perturb(w, rng)
+        assert np.unique(out).size <= 2**2 - 1
+
+    def test_high_resolution_near_lossless(self):
+        rng = np.random.default_rng(2)
+        w = rng.normal(size=(20, 20))
+        out = LevelQuantization(bits=12).perturb(w, rng)
+        assert np.abs(out - w).max() < np.abs(w).max() / 1000
+
+    def test_deterministic(self):
+        w = np.random.default_rng(3).normal(size=(5, 5))
+        q = LevelQuantization(bits=4)
+        a = q.perturb(w, np.random.default_rng(0))
+        b = q.perturb(w, np.random.default_rng(999))
+        np.testing.assert_allclose(a, b)
+
+    def test_zero_matrix_unchanged(self):
+        w = np.zeros(10)
+        out = LevelQuantization(bits=4).perturb(w, np.random.default_rng(0))
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_extremes_preserved(self):
+        w = np.array([-1.0, 0.0, 1.0])
+        out = LevelQuantization(bits=3).perturb(w, np.random.default_rng(0))
+        assert out[0] == pytest.approx(-1.0)
+        assert out[2] == pytest.approx(1.0)
+        assert out[1] == pytest.approx(0.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 10))
+    def test_error_bounded_by_half_step(self, bits):
+        rng = np.random.default_rng(bits)
+        w = rng.normal(size=1000)
+        out = LevelQuantization(bits).perturb(w, rng)
+        scale = np.abs(w).max()
+        step = 2 * scale / (2**bits - 2)
+        assert np.abs(out - w).max() <= step / 2 + 1e-12
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            LevelQuantization(0)
+
+    def test_magnitude_decreases_with_bits(self):
+        assert LevelQuantization(8).magnitude < LevelQuantization(2).magnitude
+
+
+class TestConductanceDrift:
+    def test_no_time_no_drift(self):
+        w = np.random.default_rng(0).normal(size=(5, 5))
+        out = ConductanceDrift(time_ratio=1.0).perturb(
+            w, np.random.default_rng(1)
+        )
+        np.testing.assert_allclose(out, w)
+
+    def test_magnitudes_shrink(self):
+        rng = np.random.default_rng(2)
+        w = rng.normal(size=10_000) + np.sign(rng.normal(size=10_000)) * 0.5
+        out = ConductanceDrift(time_ratio=1e6, nu_median=0.05).perturb(w, rng)
+        assert (np.abs(out) <= np.abs(w) + 1e-12).all()
+
+    def test_mean_attenuation_closed_form(self):
+        drift = ConductanceDrift(time_ratio=1e4, nu_median=0.02, nu_sigma=0.0)
+        w = np.ones(10_000)
+        out = drift.perturb(w, np.random.default_rng(0))
+        assert out.mean() == pytest.approx(drift.mean_attenuation(), rel=1e-9)
+
+    def test_longer_time_more_drift(self):
+        w = np.ones(50_000)
+        short = ConductanceDrift(1e2, 0.05).perturb(w, np.random.default_rng(0))
+        long = ConductanceDrift(1e6, 0.05).perturb(w, np.random.default_rng(0))
+        assert long.mean() < short.mean()
+
+    def test_sign_preserved(self):
+        w = np.array([-2.0, 3.0, -0.5])
+        out = ConductanceDrift(1e4, 0.05).perturb(w, np.random.default_rng(1))
+        np.testing.assert_array_equal(np.sign(out), np.sign(w))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ConductanceDrift(time_ratio=0.5)
+        with pytest.raises(ValueError):
+            ConductanceDrift(1e3, nu_median=-0.1)
+
+    def test_works_with_injector_and_evaluator(self, lenet, tiny_test):
+        from repro.evaluation import MonteCarloEvaluator
+
+        ev = MonteCarloEvaluator(tiny_test, n_samples=3, seed=0)
+        result = ev.evaluate(lenet, ConductanceDrift(1e5, nu_median=0.1))
+        assert len(result.accuracies) == 3
