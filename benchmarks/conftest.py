@@ -215,6 +215,18 @@ class Workbench:
         return self._correctnet[key]
 
 
+def pytest_collection_modifyitems(items):
+    """Every benchmark is slow by construction (the session workbench
+    trains models on first use), so mark the whole directory: `pytest`
+    alone stays the quick unit gate (pytest.ini testpaths), benchmarks run
+    only when requested explicitly, and the pytest.ini per-test timeout is
+    disabled here because workbench training is charged to the first test
+    that triggers it."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+        item.add_marker(pytest.mark.timeout(0))
+
+
 @pytest.fixture(scope="session")
 def workbench():
     return Workbench()

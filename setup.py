@@ -8,4 +8,11 @@ path. All metadata lives in ``pyproject.toml``.
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        # `pytest.ini` sets a per-test timeout that activates when
+        # pytest-timeout is present; the plugin is optional so the bare
+        # environment can still run the suite.
+        "test": ["pytest", "pytest-timeout"],
+    },
+)

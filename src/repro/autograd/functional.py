@@ -11,7 +11,8 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from repro.autograd.im2col import col2im, conv_output_size, im2col
+from repro.autograd.context import is_grad_enabled
+from repro.autograd.im2col import col2im, conv_output_size, im2col, im2col_stacked
 from repro.autograd.tensor import Tensor, as_tensor
 
 KernelLike = Union[int, Tuple[int, int]]
@@ -36,9 +37,19 @@ def conv2d(
     Implemented as an im2col lowering: both forward and backward reduce to
     matrix products, which is what makes numpy training of the VGG-style
     models feasible.
+
+    A 5-D ``weight`` of shape (S, F, C, KH, KW) is treated as a stack of S
+    independent filter banks (one per Monte-Carlo variation sample) and
+    dispatches to the sample-vectorized kernel; a 5-D ``x`` (channel-major
+    stacked activations from an upstream stacked layer, e.g. when only a
+    prefix of the layers carries per-sample weights) dispatches there too,
+    broadcasting a plain 4-D weight over the samples. See
+    :func:`_conv2d_stacked`.
     """
     x = as_tensor(x)
     weight = as_tensor(weight)
+    if weight.ndim == 5 or x.ndim == 5:
+        return _conv2d_stacked(x, weight, bias, stride, padding)
     n, c, h, w = x.shape
     f, wc, kh, kw = weight.shape
     if wc != c:
@@ -72,9 +83,161 @@ def conv2d(
     return out
 
 
+def _conv2d_stacked(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor],
+    stride: int,
+    padding: int,
+) -> Tensor:
+    """Sample-stacked convolution: ``weight`` is (S, F, C, KH, KW), or a
+    plain (F, C, KH, KW) filter bank shared by all samples (a non-varied
+    layer downstream of a varied one, e.g. a prefix layer subset).
+
+    ``x`` is either a shared batch (N, C, H, W) — every sample convolves
+    the same activations — or an already sample-stacked *channel-major*
+    map (S, C, N, H, W). The output is channel-major (S, F, N, OH, OW):
+    both the shared-input GEMM ``(S*F, K) @ (K, N*P)`` and the
+    sample-batched GEMM ``(S, F, K) @ (S, K, N*P)`` produce that layout as
+    a contiguous reshape, so no full-size transpose is ever materialized —
+    together with the amortized im2col this is what makes the vectorized
+    Monte-Carlo engine fast. The sample axis only returns to batch-major
+    (S, N, features) at the Flatten boundary, where maps are small.
+    """
+    shared_weight = weight.ndim == 4
+    if shared_weight:
+        f, c, kh, kw = weight.shape
+    else:
+        s, f, c, kh, kw = weight.shape
+    shared_input = x.ndim == 4
+    if shared_input:
+        if shared_weight:
+            raise ValueError("stacked conv2d needs a stacked weight or input")
+        n, xc, h, w = x.shape
+    else:
+        if x.ndim != 5:
+            raise ValueError(
+                f"stacked conv2d expects 4-D or 5-D input, got shape {x.shape}"
+            )
+        xs, xc, n, h, w = x.shape
+        if shared_weight:
+            s = xs
+        elif xs != s:
+            raise ValueError(
+                f"input sample axis {xs} does not match weight stack {s}"
+            )
+    if xc != c:
+        raise ValueError(f"weight expects {c} input channels, input has {xc}")
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+    k = c * kh * kw
+    p = oh * ow
+    # (S, F, K); a shared weight broadcasts over the sample axis in the GEMM.
+    w2 = weight.data.reshape(1 if shared_weight else s, f, k)
+
+    if shared_input:
+        # One GEMM for all samples: (S*F, K) @ (K, N*P).
+        cols = im2col(x.data, (kh, kw), stride, padding)  # (N, K, P)
+        colmat = cols.transpose(1, 0, 2).reshape(k, n * p)
+        if bias is not None and not is_grad_enabled():
+            # Inference: fold the bias into the GEMM as a ones-row of the
+            # column matrix, saving a full read+write pass over the (large)
+            # output tensor. No tape is being built, so no backward needed.
+            b = bias.data
+            b_col = (b if b.ndim == 2 else np.broadcast_to(b, (s, f))).reshape(
+                s, f, 1
+            )
+            w_aug = np.concatenate([w2, b_col], axis=2).reshape(s * f, k + 1)
+            cmat_aug = np.concatenate([colmat, np.ones((1, n * p))], axis=0)
+            return Tensor((w_aug @ cmat_aug).reshape(s, f, n, oh, ow))
+        out_data = (w2.reshape(s * f, k) @ colmat).reshape(s, f, n, oh, ow)
+        if bias is not None:
+            b = bias.data
+            if b.ndim == 2:  # stacked per-sample biases (S, F)
+                out_data = out_data + b.reshape(s, f, 1, 1, 1)
+            else:
+                out_data = out_data + b.reshape(1, f, 1, 1, 1)
+    else:
+        # Sample-batched GEMM: (S, N*P, K) @ (S, K, F) -> (S, N*P, F); the
+        # strided weight operand is consumed natively by BLAS (transB).
+        cols = im2col_stacked(x.data, (kh, kw), stride, padding)  # (S, N*P, K)
+        prod = np.matmul(cols, w2.transpose(0, 2, 1))
+        if bias is not None:
+            b = bias.data
+            # F is innermost here, so the bias adds before the (small)
+            # transpose into channel-major layout.
+            prod = prod + (b.reshape(s, 1, f) if b.ndim == 2 else b)
+        out_data = np.ascontiguousarray(prod.transpose(0, 2, 1)).reshape(
+            s, f, n, oh, ow
+        )
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    requires = any(p.requires_grad for p in parents)
+    out = Tensor(out_data, requires_grad=requires, _parents=parents, _op="conv2d_stacked")
+
+    def _backward() -> None:
+        grad = out.grad.reshape(s, f, n, p)
+        if weight.requires_grad:
+            if shared_input:
+                gw = np.einsum("sfnp,nkp->sfk", grad, cols, optimize=True)
+            else:
+                # cols is (S, Q, K) with Q = N*P.
+                gw = np.matmul(grad.reshape(s, f, n * p), cols)
+            if shared_weight:
+                gw = gw.sum(axis=0)
+            weight._accumulate(gw.reshape(weight.shape))
+        if x.requires_grad:
+            if shared_input:
+                gcols = np.einsum("sfk,sfnp->nkp", w2, grad, optimize=True)
+                x._accumulate(col2im(gcols, (n, c, h, w), (kh, kw), stride, padding))
+            else:
+                # (S, Q, F) @ (S, F, K) -> per-window gradients (S, Q, K).
+                gq = np.matmul(
+                    np.ascontiguousarray(
+                        grad.reshape(s, f, n * p).transpose(0, 2, 1)
+                    ),
+                    w2,
+                ).reshape(s, n, p, k)
+                gx = col2im(
+                    np.ascontiguousarray(gq.transpose(0, 1, 3, 2)).reshape(
+                        s * n, k, p
+                    ),
+                    (s * n, c, h, w),
+                    (kh, kw),
+                    stride,
+                    padding,
+                )
+                x._accumulate(
+                    gx.reshape(s, n, c, h, w).transpose(0, 2, 1, 3, 4)
+                )
+        if bias is not None and bias.requires_grad:
+            if bias.ndim == 2:
+                bias._accumulate(out.grad.sum(axis=(2, 3, 4)))
+            else:
+                bias._accumulate(out.grad.sum(axis=(0, 2, 3, 4)))
+
+    out._backward = _backward
+    return out
+
+
 def avg_pool2d(x: Tensor, kernel: KernelLike, stride: Optional[int] = None) -> Tensor:
-    """Average pooling over non-overlapping (or strided) windows."""
+    """Average pooling over non-overlapping (or strided) windows.
+
+    A 5-D input (S, C, N, H, W) — the channel-major stacked-activation
+    convention of the vectorized Monte-Carlo engine — is pooled on a
+    reshape fast path when windows tile exactly, else by folding the two
+    leading axes into the batch (pooling acts per spatial plane, so the
+    fold is layout-agnostic).
+    """
     x = as_tensor(x)
+    if x.ndim == 5:
+        s, n = x.shape[:2]
+        kh, kw = _pair(kernel)
+        stride_ = stride or kh
+        if kh == kw == stride_ and x.shape[3] % kh == 0 and x.shape[4] % kw == 0:
+            return _pool2d_stacked_fast(x, kh, kw, "avg")
+        folded = avg_pool2d(x.reshape((s * n,) + x.shape[2:]), kernel, stride)
+        return folded.reshape((s, n) + folded.shape[1:])
     kh, kw = _pair(kernel)
     stride = stride or kh
     n, c, h, w = x.shape
@@ -97,9 +260,82 @@ def avg_pool2d(x: Tensor, kernel: KernelLike, stride: Optional[int] = None) -> T
     return out
 
 
+def _pool2d_stacked_fast(x: Tensor, kh: int, kw: int, mode: str) -> Tensor:
+    """Pooling of a 5-D stack when windows tile exactly (stride == kernel).
+
+    Pools the trailing two (spatial) axes; the two leading non-spatial
+    axes (sample and channel/batch, in either order) pass through. Reads
+    each element once through kh*kw strided slices of a window view — no
+    im2col gather copy — which matters because stacked activations are S
+    times larger than ordinary ones. ``mode`` is ``"avg"`` or ``"max"``;
+    max gradients split equally between tied window elements (matching
+    :meth:`Tensor.max`, not the argmax routing of :func:`max_pool2d`).
+    """
+    s, a, b, h, w = x.shape
+    oh, ow = h // kh, w // kw
+    combine = np.add if mode == "avg" else np.maximum
+    # Two half-reductions, rows first: the row stage reads full contiguous
+    # rows (stride-2 element reads would waste half of every cache line),
+    # the column stage then runs on the halved intermediate.
+    rows_win = x.data.reshape(s, a, b, oh, kh, w)
+    rows = rows_win[:, :, :, :, 0, :].copy()
+    for i in range(1, kh):
+        combine(rows, rows_win[:, :, :, :, i, :], out=rows)
+    cols_win = rows.reshape(s, a, b, oh, ow, kw)
+    acc = cols_win[..., 0].copy()
+    for j in range(1, kw):
+        combine(acc, cols_win[..., j], out=acc)
+    out_data = acc * (1.0 / (kh * kw)) if mode == "avg" else acc
+    out = Tensor(
+        out_data,
+        requires_grad=x.requires_grad,
+        _parents=(x,),
+        _op=f"{mode}_pool2d_stacked",
+    )
+
+    def _backward() -> None:
+        g = out.grad
+        gx = np.zeros_like(x.data)
+        gwin = gx.reshape(s, a, b, oh, kh, ow, kw)
+        if mode == "avg":
+            share = g * (1.0 / (kh * kw))
+            for i in range(kh):
+                for j in range(kw):
+                    gwin[:, :, :, :, i, :, j] = share
+        else:
+            win = x.data.reshape(s, a, b, oh, kh, ow, kw)
+            ties = np.zeros_like(out_data)
+            for i in range(kh):
+                for j in range(kw):
+                    ties += win[:, :, :, :, i, :, j] == out_data
+            share = g / ties
+            for i in range(kh):
+                for j in range(kw):
+                    gwin[:, :, :, :, i, :, j] = share * (
+                        win[:, :, :, :, i, :, j] == out_data
+                    )
+        x._accumulate(gx)
+
+    out._backward = _backward
+    return out
+
+
 def max_pool2d(x: Tensor, kernel: KernelLike, stride: Optional[int] = None) -> Tensor:
-    """Max pooling; the gradient routes to the arg-max element per window."""
+    """Max pooling; the gradient routes to the arg-max element per window.
+
+    Like :func:`avg_pool2d`, a 5-D channel-major stacked input
+    (S, C, N, H, W) takes a reshape fast path for exactly-tiling windows
+    and otherwise folds the two leading axes into the batch.
+    """
     x = as_tensor(x)
+    if x.ndim == 5:
+        s, n = x.shape[:2]
+        kh, kw = _pair(kernel)
+        stride_ = stride or kh
+        if kh == kw == stride_ and x.shape[3] % kh == 0 and x.shape[4] % kw == 0:
+            return _pool2d_stacked_fast(x, kh, kw, "max")
+        folded = max_pool2d(x.reshape((s * n,) + x.shape[2:]), kernel, stride)
+        return folded.reshape((s, n) + folded.shape[1:])
     kh, kw = _pair(kernel)
     stride = stride or kh
     n, c, h, w = x.shape
@@ -243,7 +479,23 @@ def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
 
 
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
-    """Affine map ``x @ weight.T + bias`` with ``weight`` shaped (out, in)."""
+    """Affine map ``x @ weight.T + bias`` with ``weight`` shaped (out, in).
+
+    A 3-D ``weight`` of shape (S, out, in) is a stack of S per-sample weight
+    matrices (the vectorized Monte-Carlo convention): ``x`` may be a shared
+    (N, in) batch or sample-stacked (S, N, in), and the output is
+    (S, N, out) via one broadcasted batched matmul.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    if weight.ndim == 3:
+        out = x.matmul(weight.transpose(0, 2, 1))
+        if bias is not None:
+            b = as_tensor(bias)
+            if b.ndim == 2:  # stacked per-sample biases (S, out)
+                b = b.reshape(b.shape[0], 1, b.shape[1])
+            out = out + b
+        return out
     out = x.matmul(weight.T)
     if bias is not None:
         out = out + bias

@@ -46,6 +46,38 @@ def im2col(
     return view.reshape(n, c * kh * kw, oh * ow)
 
 
+def im2col_stacked(
+    x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
+) -> np.ndarray:
+    """Unfold channel-major stacked maps (S, C, N, H, W) into
+    (S, N*OH*OW, C*KH*KW).
+
+    Used by the vectorized Monte-Carlo conv kernel: the output feeds the
+    sample-batched GEMM ``(S, N*OH*OW, K) @ (S, K, F)`` directly. The
+    window axis is innermost so the gather copy reads KW-long contiguous
+    runs per tap (a K-innermost layout reads single strided elements — 3×
+    slower measured); the small (S, Q, F) GEMM result is then transposed
+    into the channel-major (S, F, N, OH, OW) output.
+    """
+    s, c, n, h, w = x.shape
+    kh, kw = kernel
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+    if padding:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (0, 0), (padding, padding), (padding, padding)),
+        )
+    ss, sc, sn, sh, sw = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(s, n, oh, ow, c, kh, kw),
+        strides=(ss, sn, sh * stride, sw * stride, sc, sh, sw),
+        writeable=False,
+    )
+    return view.reshape(s, n * oh * ow, c * kh * kw)
+
+
 def col2im(
     cols: np.ndarray,
     input_shape: Tuple[int, int, int, int],

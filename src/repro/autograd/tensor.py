@@ -339,11 +339,13 @@ class Tensor:
         return out
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        out = self._make_child(self.data * mask, (self,), "relu")
+        # Single pass over the data; the backward mask (data > 0) is only
+        # materialized if backward actually runs. np.maximum(x, 0) is
+        # bitwise identical to x * (x > 0) for finite inputs.
+        out = self._make_child(np.maximum(self.data, 0.0), (self,), "relu")
 
         def _backward() -> None:
-            self._accumulate(out.grad * mask)
+            self._accumulate(out.grad * (self.data > 0))
 
         out._backward = _backward
         return out

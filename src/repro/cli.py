@@ -9,6 +9,7 @@ print the Table-I style row.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -87,6 +88,16 @@ def eval_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--checkpoint", required=True)
     parser.add_argument("--sigma", type=float, default=0.5)
     parser.add_argument("--samples", type=int, default=50)
+    parser.add_argument(
+        "--engine", choices=["vectorized", "loop", "pool"], default="vectorized",
+        help="MC engine: vectorized stacked-weight passes (seed-paired with "
+        "the reference loop), the reference loop itself, or a process pool",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool size for --engine pool (and the fallback when a "
+        "model lacks vectorized kernels)",
+    )
     args = parser.parse_args(argv)
     if args.verbose:
         set_verbosity()
@@ -95,7 +106,17 @@ def eval_main(argv: Optional[List[str]] = None) -> int:
     model = build_model(args.model, train, seed=args.seed)
     model.load(args.checkpoint)
     clean = accuracy(model, test)
-    evaluator = MonteCarloEvaluator(test, n_samples=args.samples)
+    n_workers = 0 if args.engine == "loop" else args.workers
+    if args.engine == "pool" and n_workers == 0:
+        # Unset: size the pool to the machine. An explicit --workers 1
+        # deliberately degenerates to the serial loop.
+        n_workers = os.cpu_count() or 2
+    evaluator = MonteCarloEvaluator(
+        test,
+        n_samples=args.samples,
+        vectorized=args.engine == "vectorized",
+        n_workers=n_workers,
+    )
     result = evaluator.evaluate(model, LogNormalVariation(args.sigma))
     print(
         format_table(

@@ -60,6 +60,12 @@ class EvalConfig:
     seed: int = 1234
     candidate_threshold: float = 0.95
     max_candidates: Optional[int] = None
+    # Engine selection (see repro.evaluation.montecarlo): the vectorized
+    # path is seed-paired with the reference loop, so it is on by default;
+    # models it cannot handle fall back automatically.
+    vectorized: bool = True
+    n_workers: int = 0
+    sample_chunk: int = 16
 
 
 @dataclass

@@ -151,12 +151,21 @@ class CorrectNet:
     # ------------------------------------------------------------------
     # Stage 2: candidate selection
     # ------------------------------------------------------------------
-    def find_candidates(self, original_accuracy: float) -> List[int]:
-        evaluator = MonteCarloEvaluator(
+    def _evaluator(self, n_samples: int) -> MonteCarloEvaluator:
+        """Monte-Carlo engine configured per ``config.eval`` (vectorized by
+        default, with automatic fallback for non-sample-aware models)."""
+        cfg = self.config.eval
+        return MonteCarloEvaluator(
             self.test_data,
-            n_samples=self.config.eval.search_samples,
-            seed=self.config.eval.seed,
+            n_samples=n_samples,
+            seed=cfg.seed,
+            vectorized=cfg.vectorized,
+            n_workers=cfg.n_workers,
+            sample_chunk=cfg.sample_chunk,
         )
+
+    def find_candidates(self, original_accuracy: float) -> List[int]:
+        evaluator = self._evaluator(self.config.eval.search_samples)
         candidates = select_candidates(
             self.model,
             self.variation,
@@ -230,11 +239,7 @@ class CorrectNet:
         history = None if skip_base_training else self.fit_base()
         original_accuracy = accuracy(self.model, self.test_data)
 
-        final_evaluator = MonteCarloEvaluator(
-            self.test_data,
-            n_samples=self.config.eval.n_samples,
-            seed=self.config.eval.seed,
-        )
+        final_evaluator = self._evaluator(self.config.eval.n_samples)
         degraded = final_evaluator.evaluate(self.model, self.variation)
         logger.info(
             "original %.4f | degraded %.4f±%.4f",

@@ -11,6 +11,7 @@ per-layer feature deviations that motivate error suppression (Fig. 4).
 
 from repro.evaluation.metrics import accuracy, recovery_ratio
 from repro.evaluation.montecarlo import MCResult, MonteCarloEvaluator
+from repro.evaluation.vectorized import stacked_accuracies, supports_sample_axis
 from repro.evaluation.layer_sweep import layer_sweep, select_candidates
 from repro.evaluation.tracer import ErrorPropagationTracer, LayerDeviation
 from repro.evaluation.margins import (
@@ -31,4 +32,6 @@ __all__ = [
     "MarginReport",
     "margin_report",
     "logit_shift_under_variation",
+    "stacked_accuracies",
+    "supports_sample_axis",
 ]

@@ -5,10 +5,34 @@ to the variation model and inference accuracy was evaluated for each
 sample". Sample count is configurable (fast benchmark modes use fewer);
 sample ``i`` always draws from the same spawned rng stream, so results are
 reproducible and paired across configurations sharing a seed.
+
+Three execution engines share that protocol:
+
+- **reference loop** (default): one full-dataset forward pass per sample,
+  perturbing weights in place via :meth:`VariationInjector.applied`. This
+  is the semantic ground truth.
+- **vectorized** (``vectorized=True``): all perturbations are drawn up
+  front with :meth:`VariationInjector.sample_batch` and stacked on a
+  leading sample axis; the sample-aware kernels in
+  ``repro.autograd.functional`` / ``repro.nn.layers`` then evaluate every
+  sample in one einsum/GEMM pass per data batch. **Equivalence contract:**
+  ``sample_batch`` consumes exactly the rng streams the loop consumes, in
+  the same per-parameter order, so the installed weights are bitwise equal
+  to the loop's sample-by-sample — only the reduction order of the matmul
+  differs (float-ulp level). The paired-seed tests in
+  ``tests/test_evaluation.py`` pin this down. Models containing layers
+  without sample-aware kernels (batch norm, compensation wrappers, analog
+  layers) are detected by :func:`supports_sample_axis` and fall through to
+  the next engine.
+- **process pool** (``n_workers > 1``): samples are split into contiguous
+  index chunks, each evaluated by the reference loop in a worker process
+  with its own copy of the model. Chunks carry the same spawned rng
+  streams, so results are identical to the serial loop, in order.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -16,6 +40,7 @@ import numpy as np
 
 from repro.data.dataset import ArrayDataset
 from repro.evaluation.metrics import accuracy
+from repro.evaluation.vectorized import stacked_accuracies, supports_sample_axis
 from repro.nn.module import Module
 from repro.utils.rng import spawn_rngs, SeedLike
 from repro.variation.injector import VariationInjector
@@ -28,24 +53,53 @@ class MCResult:
 
     accuracies: List[float] = field(default_factory=list)
 
+    def _require_samples(self) -> None:
+        if not self.accuracies:
+            raise ValueError(
+                "MCResult holds no accuracy samples; evaluate() fills it — "
+                "statistics of an empty result are undefined"
+            )
+
     @property
     def mean(self) -> float:
+        self._require_samples()
         return float(np.mean(self.accuracies))
 
     @property
     def std(self) -> float:
+        self._require_samples()
         return float(np.std(self.accuracies))
 
     @property
     def min(self) -> float:
+        self._require_samples()
         return float(np.min(self.accuracies))
 
     @property
     def max(self) -> float:
+        self._require_samples()
         return float(np.max(self.accuracies))
 
     def __repr__(self) -> str:
+        if not self.accuracies:
+            return "MCResult(empty)"
         return f"MCResult(mean={self.mean:.4f}, std={self.std:.4f}, n={len(self.accuracies)})"
+
+
+def _pool_worker(payload) -> List[float]:
+    """Evaluate one contiguous chunk of samples with the reference loop.
+
+    Module-level so it pickles; the model, layer subset and masks travel in
+    one payload so object identity between ``layers`` entries and modules
+    inside ``model`` survives the round-trip.
+    """
+    model, variation, layers, masks, dataset, batch_size, rngs = payload
+    injector = VariationInjector(model, variation, layers, masks)
+    accs = []
+    for rng in rngs:
+        with injector.applied(rng):
+            accs.append(accuracy(model, dataset, batch_size))
+    return accs
 
 
 class MonteCarloEvaluator:
@@ -59,6 +113,23 @@ class MonteCarloEvaluator:
         Number of independent weight samples (paper: 250).
     seed:
         Root seed; sample ``i`` uses the i-th spawned stream.
+    batch_size:
+        Data batch size per forward pass.
+    vectorized:
+        Evaluate all samples per data batch in one stacked-weight pass
+        when the model supports it (see module docstring). Falls back to
+        the pool/loop engines otherwise.
+    n_workers:
+        When > 1 (and the vectorized path is off or unsupported), fan the
+        reference loop out over a process pool of this size.
+    sample_chunk:
+        Vectorized engine: samples evaluated per stacked pass, bounding
+        the memory of the stacked weights and activations.
+    data_block:
+        Vectorized engine: internal data-batch size. Per-image results do
+        not depend on batching, and stacked intermediates are S times
+        larger than ordinary activations, so the engine blocks data to
+        stay cache-resident instead of using ``batch_size``.
     """
 
     def __init__(
@@ -67,13 +138,27 @@ class MonteCarloEvaluator:
         n_samples: int = 250,
         seed: SeedLike = 1234,
         batch_size: int = 256,
+        vectorized: bool = False,
+        n_workers: int = 0,
+        sample_chunk: int = 16,
+        data_block: int = 64,
     ) -> None:
         if n_samples <= 0:
             raise ValueError(f"n_samples must be positive, got {n_samples}")
+        if n_workers < 0:
+            raise ValueError(f"n_workers must be non-negative, got {n_workers}")
+        if sample_chunk <= 0:
+            raise ValueError(f"sample_chunk must be positive, got {sample_chunk}")
+        if data_block <= 0:
+            raise ValueError(f"data_block must be positive, got {data_block}")
         self.dataset = dataset
         self.n_samples = n_samples
         self.seed = seed
         self.batch_size = batch_size
+        self.vectorized = vectorized
+        self.n_workers = n_workers
+        self.sample_chunk = sample_chunk
+        self.data_block = data_block
 
     def evaluate(
         self,
@@ -87,12 +172,26 @@ class MonteCarloEvaluator:
         ``layers`` restricts injection to a layer subset (Fig. 9);
         ``protection_masks`` holds protected weights at nominal (baselines).
         A ``NoVariation`` model short-circuits to a single deterministic
-        evaluation.
+        evaluation. Engine choice (vectorized / pool / loop) follows the
+        module docstring; all three return paired results for a seed.
         """
         if isinstance(variation, NoVariation) or variation.magnitude == 0.0:
             acc = accuracy(model, self.dataset, self.batch_size)
             return MCResult([acc])
         injector = VariationInjector(model, variation, layers, protection_masks)
+        if self.vectorized and supports_sample_axis(model):
+            return self._evaluate_vectorized(model, injector)
+        if self.n_workers > 1:
+            return self._evaluate_pool(model, variation, layers, protection_masks)
+        return self._evaluate_loop(model, injector)
+
+    # ------------------------------------------------------------------
+    # Engines
+    # ------------------------------------------------------------------
+    def _evaluate_loop(
+        self, model: Module, injector: VariationInjector
+    ) -> MCResult:
+        """Reference implementation: one forward sweep per sample."""
         result = MCResult()
         for rng in spawn_rngs(self.seed, self.n_samples):
             with injector.applied(rng):
@@ -101,20 +200,85 @@ class MonteCarloEvaluator:
                 )
         return result
 
+    def _evaluate_vectorized(
+        self, model: Module, injector: VariationInjector
+    ) -> MCResult:
+        """All samples per data batch via stacked weights (see module doc).
+
+        Perturbations are drawn chunk by chunk (slices of one spawned
+        stream list, so pairing is unaffected): peak memory holds
+        ``sample_chunk`` weight copies, not ``n_samples``.
+        """
+        rngs = spawn_rngs(self.seed, self.n_samples)
+        result = MCResult()
+        for start in range(0, self.n_samples, self.sample_chunk):
+            stop = min(start + self.sample_chunk, self.n_samples)
+            chunk = injector.stack_for(rngs[start:stop])
+            if not chunk:
+                # No target parameters (e.g. empty layer subset): every
+                # sample sees nominal weights, matching the loop.
+                acc = accuracy(model, self.dataset, self.batch_size)
+                return MCResult([acc] * self.n_samples)
+            with injector.applied_stack(chunk):
+                accs = stacked_accuracies(
+                    model, self.dataset, stop - start, self.data_block
+                )
+            result.accuracies.extend(float(a) for a in accs)
+        return result
+
+    def _evaluate_pool(
+        self,
+        model: Module,
+        variation: VariationModel,
+        layers: Optional[Sequence[Module]],
+        protection_masks: Optional[Dict[str, np.ndarray]],
+    ) -> MCResult:
+        """Reference loop fanned out over worker processes, order-preserving."""
+        rngs = spawn_rngs(self.seed, self.n_samples)
+        n_workers = min(self.n_workers, self.n_samples)
+        chunk_size = -(-self.n_samples // n_workers)  # ceil division
+        payloads = [
+            (
+                model,
+                variation,
+                None if layers is None else list(layers),
+                protection_masks,
+                self.dataset,
+                self.batch_size,
+                rngs[start : start + chunk_size],
+            )
+            for start in range(0, self.n_samples, chunk_size)
+        ]
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            parts = list(pool.map(_pool_worker, payloads))
+        return MCResult([acc for part in parts for acc in part])
+
+    # ------------------------------------------------------------------
     def sweep_sigma(
         self,
         model: Module,
         variation: VariationModel,
         sigmas: Sequence[float],
+        layers: Optional[Sequence[Module]] = None,
+        protection_masks: Optional[Dict[str, np.ndarray]] = None,
     ) -> List[MCResult]:
         """Evaluate across a sigma grid by rescaling ``variation``
         (Fig. 2 / Fig. 7 x-axes). The base variation's magnitude must be
-        non-zero so scaling is well defined."""
+        non-zero so scaling is well defined. ``layers`` and
+        ``protection_masks`` are forwarded to every :meth:`evaluate` call,
+        so layer subsets (Fig. 9) and protection baselines can be swept."""
         base = variation.magnitude
         if base <= 0:
             raise ValueError("sweep requires a variation with positive magnitude")
         results = []
         for sigma in sigmas:
             scaled = variation.scaled(sigma / base)
-            results.append(self.evaluate(model, scaled))
+            results.append(
+                self.evaluate(
+                    model,
+                    scaled,
+                    layers=layers,
+                    protection_masks=protection_masks,
+                )
+            )
         return results

@@ -1,0 +1,109 @@
+"""Sample-axis capability detection and the stacked accuracy kernel.
+
+The vectorized Monte-Carlo engine installs sample-stacked weights
+(``(S, *shape)`` per parameter) and runs one forward pass per data batch
+for all S variation samples at once. That only works when every module in
+the tree propagates the leading sample axis correctly, so eligibility is
+decided by an explicit whitelist rather than by trying and hoping:
+:func:`supports_sample_axis` admits exactly the layer types whose stacked
+semantics are covered by the kernel tests, plus pure delegating containers
+(``Sequential`` and model classes declaring ``sample_aware = True``).
+Anything else — batch norm, compensation wrappers, analog layers — makes
+the evaluator fall back to the reference loop or the process pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import no_grad, Tensor
+from repro.data.dataset import ArrayDataset
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from repro.nn.module import Module
+
+#: Leaf modules whose forward is elementwise, shape-agnostic, or explicitly
+#: sample-aware (stacked-weight matmul/conv, 5-D pooling, sample-preserving
+#: flatten). Dropout is a no-op in eval mode and elementwise otherwise.
+SAMPLE_AWARE_LEAVES = (
+    Linear,
+    Conv2d,
+    ReLU,
+    Tanh,
+    Sigmoid,
+    AvgPool2d,
+    MaxPool2d,
+    Flatten,
+    Identity,
+    Dropout,
+)
+
+
+def supports_sample_axis(module: Module) -> bool:
+    """True when every module in the tree handles a leading sample axis.
+
+    Containers are admitted when all their children are: ``Sequential``
+    always delegates, and model classes that are pure delegating wrappers
+    (forward only calls into children) opt in with a ``sample_aware = True``
+    class attribute (``MLP``, ``LeNet5``, ``VGG``).
+    """
+    if isinstance(module, Softmax):
+        # Only the trailing class axis is sample-safe; axis 1 of a stacked
+        # (S, N, K) activation would normalize over the batch.
+        return module.axis == -1
+    if isinstance(module, SAMPLE_AWARE_LEAVES):
+        return True
+    if isinstance(module, Sequential) or getattr(module, "sample_aware", False):
+        return all(supports_sample_axis(child) for child in module.children())
+    return False
+
+
+def stacked_accuracies(
+    model: Module,
+    dataset: ArrayDataset,
+    n_stacked: int,
+    batch_size: int = 64,
+) -> np.ndarray:
+    """Per-sample top-1 accuracies with stacked weights already installed.
+
+    Expects the model to produce (S, N, K) logits for an (N, ...) batch —
+    i.e. to be inside :meth:`VariationInjector.applied_stack`. Returns an
+    ``(n_stacked,)`` float array. Eval mode and the previous training mode
+    are handled like :func:`repro.evaluation.metrics.accuracy`.
+
+    ``batch_size`` here is the engine's internal data blocking: per-image
+    results are independent of it, and stacked intermediates are S times
+    larger than ordinary ones, so a block that keeps ``S × block`` feature
+    maps cache-resident is much faster than a throughput-sized eval batch.
+    """
+    was_training = model.training
+    model.eval()
+    correct = np.zeros(n_stacked, dtype=np.int64)
+    try:
+        with no_grad():
+            for start in range(0, len(dataset), batch_size):
+                images = dataset.images[start : start + batch_size]
+                labels = dataset.labels[start : start + batch_size]
+                logits = model(Tensor(images)).data
+                if logits.ndim != 3 or logits.shape[0] != n_stacked:
+                    raise RuntimeError(
+                        "expected sample-stacked logits of shape "
+                        f"({n_stacked}, N, K), got {logits.shape}; is the "
+                        "model inside applied_stack and sample-aware?"
+                    )
+                correct += (logits.argmax(axis=-1) == labels).sum(axis=1)
+    finally:
+        model.train(was_training)
+    return correct / len(dataset)

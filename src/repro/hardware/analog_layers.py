@@ -39,6 +39,7 @@ class AnalogLinear(Module):
         adc: Optional[ADC] = None,
         read_noise_sigma: float = 0.0,
         wire_resistance: float = 0.0,
+        input_scale: Optional[float] = None,
     ) -> None:
         super().__init__()
         self.in_features = linear.in_features
@@ -53,6 +54,7 @@ class AnalogLinear(Module):
             adc=adc,
             read_noise_sigma=read_noise_sigma,
             wire_resistance=wire_resistance,
+            input_scale=input_scale,
         )
 
     def program(
@@ -88,6 +90,7 @@ class AnalogConv2d(Module):
         adc: Optional[ADC] = None,
         read_noise_sigma: float = 0.0,
         wire_resistance: float = 0.0,
+        input_scale: Optional[float] = None,
     ) -> None:
         super().__init__()
         self.in_channels = conv.in_channels
@@ -105,6 +108,7 @@ class AnalogConv2d(Module):
             adc=adc,
             read_noise_sigma=read_noise_sigma,
             wire_resistance=wire_resistance,
+            input_scale=input_scale,
         )
 
     def program(
@@ -143,6 +147,7 @@ def analogize(
     adc: Optional[ADC] = None,
     read_noise_sigma: float = 0.0,
     wire_resistance: float = 0.0,
+    input_scale: Optional[float] = None,
     variation: VariationModel = NoVariation(),
     seed: SeedLike = None,
 ) -> Module:
@@ -163,12 +168,12 @@ def analogize(
             if isinstance(child, Linear):
                 replacement = AnalogLinear(
                     child, tile_size, mapper, dac, adc, read_noise_sigma,
-                    wire_resistance,
+                    wire_resistance, input_scale,
                 )
             elif isinstance(child, Conv2d):
                 replacement = AnalogConv2d(
                     child, tile_size, mapper, dac, adc, read_noise_sigma,
-                    wire_resistance,
+                    wire_resistance, input_scale,
                 )
             if replacement is not None:
                 replacement.program(variation, layer_seed)

@@ -56,6 +56,18 @@ class Crossbar:
         segments against the cell's own resistance — the standard IR-drop
         approximation for crossbar accuracy studies. Cells far from the
         drivers contribute systematically less current.
+    input_scale:
+        Fixed DAC full-scale (in input units). ``None`` defaults to the
+        scale the mapper calibrated for this crossbar's weight matrix. A
+        physical DAC has a fixed full-scale voltage, so quantization of one
+        input row must not depend on which other rows share the batch —
+        deriving the scale per call from ``|x|.max()`` (the old behavior)
+        made results change with ``batch_size``. The weight-scale default
+        is only a proxy: when the DAC actually quantizes (``bits`` set)
+        and the activation range differs from the weight range, set
+        ``input_scale`` explicitly or run :meth:`calibrate_input_scale`
+        on representative activations, as deployment flows calibrate ADC
+        ranges in practice.
     """
 
     def __init__(
@@ -67,6 +79,7 @@ class Crossbar:
         read_noise_sigma: float = 0.0,
         clip_conductance: bool = True,
         wire_resistance: float = 0.0,
+        input_scale: Optional[float] = None,
     ) -> None:
         weights = np.asarray(weights, dtype=np.float64)
         if weights.ndim != 2:
@@ -79,9 +92,12 @@ class Crossbar:
             raise ValueError("read_noise_sigma must be non-negative")
         if wire_resistance < 0:
             raise ValueError("wire_resistance must be non-negative")
+        if input_scale is not None and input_scale <= 0:
+            raise ValueError(f"input_scale must be positive, got {input_scale}")
         self.read_noise_sigma = float(read_noise_sigma)
         self.clip_conductance = clip_conductance
         self.wire_resistance = float(wire_resistance)
+        self.input_scale = None if input_scale is None else float(input_scale)
 
         self._g_pos_nominal, self._g_neg_nominal, self._scale = self.mapper.encode(
             weights
@@ -119,12 +135,30 @@ class Crossbar:
     def seed_read_noise(self, seed: SeedLike) -> None:
         self._read_rng = new_rng(seed)
 
+    def calibrate_input_scale(self, samples: np.ndarray) -> float:
+        """Fix the DAC full-scale to ``max|samples|`` (input domain).
+
+        Feed representative activations once; subsequent :meth:`mvm` calls
+        quantize against this calibrated range instead of the weight-scale
+        proxy, while staying independent of each call's batch composition.
+        """
+        scale = float(np.abs(np.asarray(samples, dtype=np.float64)).max())
+        if scale <= 0:
+            raise ValueError("calibration samples must contain non-zero values")
+        self.input_scale = scale
+        return scale
+
     # ------------------------------------------------------------------
     def mvm(self, x: np.ndarray) -> np.ndarray:
         """Matrix-vector (or matrix-batch) product through the analog chain.
 
         ``x`` has shape (in,) or (batch, in); the result matches
         ``x @ W_eff.T`` with DAC/ADC quantization and read noise applied.
+
+        The DAC/ADC full scales come from ``input_scale`` (a fixed,
+        per-call-independent quantity), so each row's result is identical
+        whether it is presented alone or inside a larger batch — including
+        the all-zero input, which maps to exactly zero current.
         """
         x = np.asarray(x, dtype=np.float64)
         squeeze = x.ndim == 1
@@ -134,7 +168,7 @@ class Crossbar:
             raise ValueError(
                 f"input dim {x.shape[1]} does not match crossbar cols {self.shape[1]}"
             )
-        v_scale = float(np.abs(x).max())
+        v_scale = self._scale if self.input_scale is None else self.input_scale
         v = self.dac.quantize(x, v_scale)
 
         g_diff = self.g_pos - self.g_neg  # (out, in)

@@ -44,6 +44,7 @@ class TiledCrossbarArray:
         read_noise_sigma: float = 0.0,
         clip_conductance: bool = True,
         wire_resistance: float = 0.0,
+        input_scale: Optional[float] = None,
     ) -> None:
         weights = np.asarray(weights, dtype=np.float64)
         if weights.ndim != 2:
@@ -65,6 +66,7 @@ class TiledCrossbarArray:
                     read_noise_sigma=read_noise_sigma,
                     clip_conductance=clip_conductance,
                     wire_resistance=wire_resistance,
+                    input_scale=input_scale,
                 )
                 for (c0, c1) in self.col_ranges
             ]
@@ -84,6 +86,19 @@ class TiledCrossbarArray:
             for tile in row:
                 tile.program(variation, next(rngs))
         return self
+
+    def calibrate_input_scale(self, samples: np.ndarray) -> float:
+        """Calibrate every tile's DAC full-scale from representative
+        activations (see :meth:`Crossbar.calibrate_input_scale`). One
+        shared input range keeps partial sums consistent across column
+        tiles."""
+        scale = float(np.abs(np.asarray(samples, dtype=np.float64)).max())
+        if scale <= 0:
+            raise ValueError("calibration samples must contain non-zero values")
+        for row in self.tiles:
+            for tile in row:
+                tile.input_scale = scale
+        return scale
 
     def effective_weights(self) -> np.ndarray:
         """Stitch the decoded per-tile weights back into the full matrix."""

@@ -16,6 +16,10 @@ from repro.utils.rng import new_rng, SeedLike
 class LeNet5(Module):
     """LeNet-5 with a flat, index-addressable ``net`` Sequential."""
 
+    #: forward purely delegates to ``net``, so a leading sample axis passes
+    #: through untouched (vectorized Monte-Carlo eligibility).
+    sample_aware = True
+
     def __init__(
         self,
         num_classes: int = 10,

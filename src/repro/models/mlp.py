@@ -16,6 +16,10 @@ from repro.utils.rng import new_rng, SeedLike
 class MLP(Module):
     """Fully-connected ReLU network with a flat ``net`` Sequential."""
 
+    #: forward purely delegates to ``net``, so a leading sample axis passes
+    #: through untouched (vectorized Monte-Carlo eligibility).
+    sample_aware = True
+
     def __init__(
         self,
         in_features: int,

@@ -43,6 +43,10 @@ class VGG(Module):
         Square input resolution; must survive the config's pool count.
     """
 
+    #: forward purely delegates to ``net``, so a leading sample axis passes
+    #: through untouched (vectorized Monte-Carlo eligibility).
+    sample_aware = True
+
     def __init__(
         self,
         config: Union[str, List[Union[int, str]]] = "vgg16",

@@ -148,9 +148,21 @@ class MaxPool2d(Module):
 
 
 class Flatten(Module):
-    """Collapse all but the batch axis."""
+    """Collapse all but the batch axis.
+
+    A 5-D input follows the channel-major stacked-activation convention
+    (S, C, N, H, W) of the vectorized Monte-Carlo engine; it flattens to
+    (S, N, C*H*W) — same per-image feature order as the 4-D case, with the
+    leading sample axis preserved. This is where the sample axis returns
+    to batch-major layout, and the maps are small here, so the transpose
+    is cheap. Ordinary model activations are at most 4-D, so the rule is
+    unambiguous.
+    """
 
     def forward(self, x: Tensor) -> Tensor:
+        if x.ndim == 5:
+            x = x.transpose(0, 2, 1, 3, 4)  # (S, N, C, H, W)
+            return x.reshape(x.shape[0], x.shape[1], -1)
         return x.reshape(x.shape[0], -1)
 
 

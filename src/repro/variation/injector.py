@@ -23,7 +23,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.nn.module import Module, Parameter
-from repro.utils.rng import new_rng, SeedLike
+from repro.utils.rng import new_rng, spawn_rngs, SeedLike
 from repro.variation.models import VariationModel
 
 #: Parameter attribute names treated as crossbar-mapped weights. Biases and
@@ -109,6 +109,75 @@ class VariationInjector:
                 perturbed_data = np.where(mask, nominal, perturbed_data)
             out[name] = perturbed_data
         return out
+
+    def sample_batch(
+        self, n_samples: int, seed: SeedLike = None
+    ) -> Dict[str, np.ndarray]:
+        """Draw all ``n_samples`` perturbations up front, stacked per param.
+
+        Returns ``{param-name: (n_samples, *param.shape) array}``. Sample
+        ``i`` consumes the ``i``-th spawned stream of ``seed`` and perturbs
+        the target parameters in the same order as :meth:`applied` — so
+        slice ``i`` of each stack is bitwise equal to what the reference
+        per-sample loop would have installed with the same seed. This is
+        the pairing contract the vectorized Monte-Carlo engine relies on.
+        """
+        if n_samples <= 0:
+            raise ValueError(f"n_samples must be positive, got {n_samples}")
+        return self.stack_for(spawn_rngs(seed, n_samples))
+
+    def stack_for(
+        self, rngs: Sequence[np.random.Generator]
+    ) -> Dict[str, np.ndarray]:
+        """Like :meth:`sample_batch` but for explicit rng streams.
+
+        Lets callers draw sample chunks incrementally (slices of one
+        ``spawn_rngs`` list) without materializing every sample's weights
+        at once, while keeping the per-stream pairing contract.
+        """
+        targets = list(_iter_target_params(self.model, self.layers))
+        stacks: Dict[str, np.ndarray] = {
+            name: np.empty((len(rngs),) + param.data.shape)
+            for name, param in targets
+        }
+        for i, rng in enumerate(rngs):
+            for name, param in targets:
+                nominal = param.data
+                perturbed_data = self.variation.perturb(nominal, rng)
+                mask = self.protection_masks.get(name)
+                if mask is not None:
+                    perturbed_data = np.where(mask, nominal, perturbed_data)
+                stacks[name][i] = perturbed_data
+        return stacks
+
+    @contextlib.contextmanager
+    def applied_stack(
+        self, stacked: Dict[str, np.ndarray]
+    ) -> Iterator["VariationInjector"]:
+        """Context manager: install sample-stacked weights, restore on exit.
+
+        ``stacked`` maps qualified parameter names (as produced by
+        :meth:`sample_batch`) to ``(S, *param.shape)`` arrays. Inside the
+        context every target parameter's ``data`` carries a leading sample
+        axis, which the sample-aware forward kernels broadcast over.
+        """
+        saved: List[Tuple[Parameter, np.ndarray]] = []
+        try:
+            for name, param in _iter_target_params(self.model, self.layers):
+                stack = stacked.get(name)
+                if stack is None:
+                    continue
+                if stack.shape[1:] != param.data.shape:
+                    raise ValueError(
+                        f"stack for {name} has per-sample shape "
+                        f"{stack.shape[1:]}, parameter is {param.data.shape}"
+                    )
+                saved.append((param, param.data))
+                param.data = stack
+            yield self
+        finally:
+            for param, nominal in saved:
+                param.data = nominal
 
     @contextlib.contextmanager
     def applied(self, seed: SeedLike = None) -> Iterator["VariationInjector"]:

@@ -154,3 +154,168 @@ class TestDropout:
     def test_invalid_p_raises(self):
         with pytest.raises(ValueError):
             F.dropout(Tensor(np.ones(2)), 1.0, np.random.default_rng(0), True)
+
+
+class TestStackedKernels:
+    """Sample-stacked (vectorized Monte-Carlo) forward kernels match the
+    per-sample reference ops, in values and in gradients."""
+
+    def _stacked_conv_reference(self, x, w, b, stride, padding):
+        outs = []
+        for i in range(w.shape[0]):
+            bias = None if b is None else Tensor(b[i] if b.ndim == 2 else b)
+            outs.append(
+                F.conv2d(Tensor(x), Tensor(w[i]), bias, stride, padding).data
+            )
+        return np.stack(outs)  # (S, N, F, OH, OW)
+
+    def test_stacked_linear_matches_per_sample(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(5, 4))
+        w = rng.normal(size=(3, 6, 4))  # (S, out, in)
+        b = rng.normal(size=6)
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b))
+        assert out.shape == (3, 5, 6)
+        for i in range(3):
+            np.testing.assert_allclose(
+                out.data[i], F.linear(Tensor(x), Tensor(w[i]), Tensor(b)).data
+            )
+
+    def test_stacked_linear_sample_stacked_input(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(3, 5, 4))  # (S, N, in)
+        w = rng.normal(size=(3, 6, 4))
+        out = F.linear(Tensor(x), Tensor(w))
+        for i in range(3):
+            np.testing.assert_allclose(
+                out.data[i], F.linear(Tensor(x[i]), Tensor(w[i])).data,
+                atol=1e-12,
+            )
+
+    def test_stacked_conv_shared_input(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(4, 3, 8, 8))
+        w = rng.normal(size=(5, 2, 3, 3, 3))  # (S, F, C, KH, KW)
+        b = rng.normal(size=2)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), 1, 1)
+        # channel-major stacked output (S, F, N, OH, OW)
+        assert out.shape == (5, 2, 4, 8, 8)
+        ref = self._stacked_conv_reference(x, w, b, 1, 1)
+        np.testing.assert_allclose(
+            out.data, ref.transpose(0, 2, 1, 3, 4), atol=1e-10
+        )
+
+    def test_stacked_conv_shared_input_inference_bias_fusion(self):
+        from repro.autograd import no_grad
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 1, 6, 6))
+        w = rng.normal(size=(3, 4, 1, 3, 3))
+        b = rng.normal(size=4)
+        with no_grad():
+            fused = F.conv2d(Tensor(x), Tensor(w), Tensor(b), 1, 0)
+        ref = self._stacked_conv_reference(x, w, b, 1, 0)
+        np.testing.assert_allclose(
+            fused.data, ref.transpose(0, 2, 1, 3, 4), atol=1e-10
+        )
+
+    def test_stacked_conv_stacked_input(self):
+        rng = np.random.default_rng(4)
+        s, n = 3, 2
+        x = rng.normal(size=(s, 4, n, 6, 6))  # channel-major (S, C, N, H, W)
+        w = rng.normal(size=(s, 5, 4, 3, 3))
+        b = rng.normal(size=(s, 5))  # stacked biases
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), 1, 0)
+        assert out.shape == (s, 5, n, 4, 4)
+        for i in range(s):
+            ref = F.conv2d(
+                Tensor(x[i].transpose(1, 0, 2, 3)), Tensor(w[i]), Tensor(b[i]),
+                1, 0,
+            ).data  # (N, F, OH, OW)
+            np.testing.assert_allclose(
+                out.data[i], ref.transpose(1, 0, 2, 3), atol=1e-10
+            )
+
+    def test_stacked_conv_gradients_match_per_sample(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(2, 3, 6, 6))
+        w = rng.normal(size=(4, 2, 3, 3, 3))
+        b = rng.normal(size=2)
+        wt = Tensor(w, requires_grad=True)
+        bt = Tensor(b, requires_grad=True)
+        xt = Tensor(x, requires_grad=True)
+        out = F.conv2d(xt, wt, bt, 1, 0)
+        out.backward(np.ones(out.shape))
+        # reference: per-sample convs, summed upstream gradient of ones
+        gw = np.zeros_like(w)
+        gb = np.zeros_like(b)
+        gx = np.zeros_like(x)
+        for i in range(w.shape[0]):
+            wi = Tensor(w[i], requires_grad=True)
+            bi = Tensor(b, requires_grad=True)
+            xi = Tensor(x, requires_grad=True)
+            oi = F.conv2d(xi, wi, bi, 1, 0)
+            oi.backward(np.ones(oi.shape))
+            gw[i] = wi.grad
+            gb += bi.grad
+            gx += xi.grad
+        np.testing.assert_allclose(wt.grad, gw, atol=1e-10)
+        np.testing.assert_allclose(bt.grad, gb, atol=1e-10)
+        np.testing.assert_allclose(xt.grad, gx, atol=1e-10)
+
+    def test_stacked_input_conv_gradients(self):
+        rng = np.random.default_rng(6)
+        s, n = 2, 3
+        x = rng.normal(size=(s, 2, n, 5, 5))
+        w = rng.normal(size=(s, 3, 2, 3, 3))
+        xt = Tensor(x, requires_grad=True)
+        wt = Tensor(w, requires_grad=True)
+        out = F.conv2d(xt, wt, None, 1, 0)
+        out.backward(np.ones(out.shape))
+        for i in range(s):
+            xi = Tensor(x[i].transpose(1, 0, 2, 3), requires_grad=True)
+            wi = Tensor(w[i], requires_grad=True)
+            oi = F.conv2d(xi, wi, None, 1, 0)
+            oi.backward(np.ones(oi.shape))
+            np.testing.assert_allclose(wt.grad[i], wi.grad, atol=1e-10)
+            np.testing.assert_allclose(
+                xt.grad[i], xi.grad.transpose(1, 0, 2, 3), atol=1e-10
+            )
+
+    def test_stacked_pools_match_folded_reference(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(3, 2, 4, 6, 6))  # (S, C, N, H, W)
+        for pool in (F.avg_pool2d, F.max_pool2d):
+            out = pool(Tensor(x), 2)
+            assert out.shape == (3, 2, 4, 3, 3)
+            ref = pool(Tensor(x.reshape(6, 4, 6, 6)), 2).data.reshape(
+                3, 2, 4, 3, 3
+            )
+            np.testing.assert_allclose(out.data, ref, atol=1e-12)
+
+    def test_stacked_pool_fallback_strided_windows(self):
+        # kernel != stride forces the fold path instead of the fast path
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(2, 3, 2, 6, 6))
+        out = F.max_pool2d(Tensor(x), 3, stride=1)
+        ref = F.max_pool2d(Tensor(x.reshape(6, 2, 6, 6)), 3, stride=1)
+        np.testing.assert_allclose(
+            out.data, ref.data.reshape(2, 3, 2, 4, 4), atol=1e-12
+        )
+
+    def test_stacked_avg_pool_gradient(self):
+        rng = np.random.default_rng(9)
+        x = rng.normal(size=(2, 2, 2, 4, 4))
+        xt = Tensor(x, requires_grad=True)
+        out = F.avg_pool2d(xt, 2)
+        out.backward(np.ones(out.shape))
+        np.testing.assert_allclose(xt.grad, np.full(x.shape, 0.25), atol=1e-12)
+
+    def test_stacked_max_pool_gradient_routes_to_max(self):
+        x = np.zeros((1, 1, 1, 2, 2))
+        x[0, 0, 0, 1, 1] = 5.0
+        xt = Tensor(x, requires_grad=True)
+        out = F.max_pool2d(xt, 2)
+        out.backward(np.ones(out.shape))
+        expected = np.zeros_like(x)
+        expected[0, 0, 0, 1, 1] = 1.0
+        np.testing.assert_allclose(xt.grad, expected)

@@ -179,3 +179,158 @@ class TestTracer:
         # forward must be back to the class implementation (unhooked)
         layer = weighted_layers(mlp)[0][1]
         assert layer.forward.__qualname__.startswith("Linear")
+
+
+class TestMCResultValidation:
+    def test_empty_result_statistics_raise(self):
+        from repro.evaluation.montecarlo import MCResult
+        empty = MCResult()
+        for stat in ("mean", "std", "min", "max"):
+            with pytest.raises(ValueError):
+                getattr(empty, stat)
+
+    def test_empty_result_repr_safe(self):
+        from repro.evaluation.montecarlo import MCResult
+        assert "empty" in repr(MCResult())
+
+
+class TestVectorizedEngine:
+    """Paired-seed equivalence of the vectorized engine with the loop."""
+
+    def test_mlp_matches_loop(self, mlp, blob_dataset):
+        loop = MonteCarloEvaluator(blob_dataset, n_samples=9, seed=11,
+                                   vectorized=False)
+        vec = MonteCarloEvaluator(blob_dataset, n_samples=9, seed=11,
+                                  vectorized=True, sample_chunk=4)
+        r_loop = loop.evaluate(mlp, LogNormalVariation(0.5))
+        r_vec = vec.evaluate(mlp, LogNormalVariation(0.5))
+        assert r_vec.accuracies == r_loop.accuracies
+
+    def test_lenet_matches_loop(self, lenet, tiny_test):
+        loop = MonteCarloEvaluator(tiny_test, n_samples=5, seed=3,
+                                   vectorized=False)
+        vec = MonteCarloEvaluator(tiny_test, n_samples=5, seed=3,
+                                  vectorized=True, sample_chunk=2)
+        r_loop = loop.evaluate(lenet, LogNormalVariation(0.4))
+        r_vec = vec.evaluate(lenet, LogNormalVariation(0.4))
+        assert r_vec.accuracies == r_loop.accuracies
+
+    def test_layer_subset_and_masks_match_loop(self, lenet, tiny_test):
+        layers = [m for _, m in weighted_layers(lenet)][2:]
+        name = weighted_layers(lenet)[2][0]
+        mask = np.zeros_like(weighted_layers(lenet)[2][1].weight.data,
+                             dtype=bool)
+        mask[0] = True
+        masks = {f"{name}.weight": mask}
+        loop = MonteCarloEvaluator(tiny_test, n_samples=4, seed=5,
+                                   vectorized=False)
+        vec = MonteCarloEvaluator(tiny_test, n_samples=4, seed=5,
+                                  vectorized=True)
+        r_loop = loop.evaluate(lenet, LogNormalVariation(0.6), layers=layers,
+                               protection_masks=masks)
+        r_vec = vec.evaluate(lenet, LogNormalVariation(0.6), layers=layers,
+                             protection_masks=masks)
+        assert r_vec.accuracies == r_loop.accuracies
+
+    def test_weights_restored_after_vectorized(self, lenet, tiny_test):
+        before = {n: p.data.copy() for n, p in lenet.named_parameters()}
+        vec = MonteCarloEvaluator(tiny_test, n_samples=3, seed=0,
+                                  vectorized=True)
+        vec.evaluate(lenet, LogNormalVariation(0.5))
+        for name, param in lenet.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])
+
+    def test_empty_layer_subset_replicates_nominal(self, mlp, blob_dataset):
+        vec = MonteCarloEvaluator(blob_dataset, n_samples=4, seed=0,
+                                  vectorized=True)
+        result = vec.evaluate(mlp, LogNormalVariation(0.5), layers=[])
+        clean = accuracy(mlp, blob_dataset)
+        assert result.accuracies == [clean] * 4
+
+    def test_unsupported_model_falls_back_to_loop(self, blob_dataset):
+        """A model without sample-aware kernels (batch norm) silently uses
+        the reference loop under vectorized=True."""
+        import repro.nn as nn
+        from repro.evaluation import supports_sample_axis
+        from repro.nn.batchnorm import BatchNorm1d
+        model = nn.Sequential(nn.Flatten(), nn.Linear(4, 8, seed=0),
+                              BatchNorm1d(8), nn.ReLU(),
+                              nn.Linear(8, 3, seed=1))
+        model.eval()
+        assert not supports_sample_axis(model)
+        loop = MonteCarloEvaluator(blob_dataset, n_samples=3, seed=2,
+                                   vectorized=False)
+        vec = MonteCarloEvaluator(blob_dataset, n_samples=3, seed=2,
+                                  vectorized=True)
+        r_loop = loop.evaluate(model, LogNormalVariation(0.3))
+        r_vec = vec.evaluate(model, LogNormalVariation(0.3))
+        assert r_vec.accuracies == r_loop.accuracies
+
+    def test_supports_sample_axis_whitelist(self, mlp, lenet):
+        from repro.evaluation import supports_sample_axis
+        assert supports_sample_axis(mlp)
+        assert supports_sample_axis(lenet)
+
+
+class TestProcessPoolEngine:
+    def test_pool_matches_loop(self, mlp, blob_dataset):
+        loop = MonteCarloEvaluator(blob_dataset, n_samples=5, seed=8,
+                                   vectorized=False)
+        pool = MonteCarloEvaluator(blob_dataset, n_samples=5, seed=8,
+                                   vectorized=False, n_workers=2)
+        r_loop = loop.evaluate(mlp, LogNormalVariation(0.5))
+        r_pool = pool.evaluate(mlp, LogNormalVariation(0.5))
+        assert r_pool.accuracies == r_loop.accuracies
+
+    def test_pool_preserves_sample_order(self, mlp, blob_dataset):
+        pool = MonteCarloEvaluator(blob_dataset, n_samples=5, seed=8,
+                                   vectorized=False, n_workers=3)
+        a = pool.evaluate(mlp, LogNormalVariation(0.5))
+        b = pool.evaluate(mlp, LogNormalVariation(0.5))
+        assert a.accuracies == b.accuracies
+
+    def test_invalid_workers_raise(self, blob_dataset):
+        with pytest.raises(ValueError):
+            MonteCarloEvaluator(blob_dataset, n_workers=-1)
+
+
+class TestSweepSigmaThreading:
+    def test_sweep_forwards_layers_and_masks(self, lenet, tiny_test):
+        """sweep_sigma must produce the same results as calling evaluate
+        per sigma with the same layer subset and protection masks."""
+        layers = [m for _, m in weighted_layers(lenet)][1:]
+        name = weighted_layers(lenet)[1][0]
+        mask = np.zeros_like(weighted_layers(lenet)[1][1].weight.data,
+                             dtype=bool)
+        mask[0] = True
+        masks = {f"{name}.weight": mask}
+        ev = MonteCarloEvaluator(tiny_test, n_samples=3, seed=4)
+        swept = ev.sweep_sigma(lenet, LogNormalVariation(0.5), [0.2, 0.4],
+                               layers=layers, protection_masks=masks)
+        for sigma, result in zip([0.2, 0.4], swept):
+            direct = ev.evaluate(lenet, LogNormalVariation(sigma),
+                                 layers=layers, protection_masks=masks)
+            assert result.accuracies == direct.accuracies
+
+    def test_prefix_layer_subset_matches_loop(self, lenet, tiny_test):
+        """Stacked activations flowing into later *unstacked* layers (a
+        prefix subset: only conv1 varied) must work and pair with the
+        loop — plain-weight kernels broadcast over the sample axis."""
+        first = [weighted_layers(lenet)[0][1]]
+        loop = MonteCarloEvaluator(tiny_test, n_samples=4, seed=6,
+                                   vectorized=False)
+        vec = MonteCarloEvaluator(tiny_test, n_samples=4, seed=6,
+                                  vectorized=True)
+        r_loop = loop.evaluate(lenet, LogNormalVariation(0.5), layers=first)
+        r_vec = vec.evaluate(lenet, LogNormalVariation(0.5), layers=first)
+        assert r_vec.accuracies == r_loop.accuracies
+
+    def test_middle_layer_subset_matches_loop(self, mlp, blob_dataset):
+        middle = [weighted_layers(mlp)[0][1]]  # first linear only
+        loop = MonteCarloEvaluator(blob_dataset, n_samples=4, seed=6,
+                                   vectorized=False)
+        vec = MonteCarloEvaluator(blob_dataset, n_samples=4, seed=6,
+                                  vectorized=True)
+        r_loop = loop.evaluate(mlp, LogNormalVariation(0.5), layers=middle)
+        r_vec = vec.evaluate(mlp, LogNormalVariation(0.5), layers=middle)
+        assert r_vec.accuracies == r_loop.accuracies

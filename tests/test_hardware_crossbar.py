@@ -127,3 +127,72 @@ class TestProgramming:
         xbar.program(StuckAtFaults(rate_low=0.3), seed=3)
         eff = xbar.effective_weights()
         assert not np.allclose(eff, weights)
+
+
+class TestInputScale:
+    """The DAC full-scale is per-call-independent, so results cannot depend
+    on which other inputs share a batch."""
+
+    def test_mvm_batch_size_invariant(self, weights):
+        xbar = Crossbar(weights, dac=DAC(6), adc=ADC(10))
+        x = np.random.default_rng(8).normal(size=(10, 12))
+        # One outlier row dominates |x|.max(); with a per-batch scale the
+        # other rows' quantization would change when it is present.
+        x[0] *= 50.0
+        full = xbar.mvm(x)
+        rows = np.stack([xbar.mvm(x[i]) for i in range(10)])
+        np.testing.assert_array_equal(full, rows)
+        split = np.concatenate([xbar.mvm(x[:3]), xbar.mvm(x[3:])])
+        np.testing.assert_array_equal(full, split)
+
+    def test_all_zero_input_returns_zero(self, weights):
+        xbar = Crossbar(weights, dac=DAC(6), adc=ADC(8))
+        out = xbar.mvm(np.zeros((4, 12)))
+        np.testing.assert_array_equal(out, np.zeros((4, 8)))
+
+    def test_default_scale_is_mapper_calibrated(self, weights):
+        xbar = Crossbar(weights)
+        assert xbar.input_scale is None
+        # ideal converters: exact result regardless of the full scale
+        x = np.random.default_rng(9).normal(size=(3, 12))
+        np.testing.assert_allclose(xbar.mvm(x), x @ weights.T, atol=1e-10)
+
+    def test_explicit_input_scale_clips_dac(self, weights):
+        small = Crossbar(weights, dac=DAC(8), input_scale=0.1)
+        x = np.full((1, 12), 10.0)  # far beyond full scale
+        # every input clips to 0.1, so the result matches driving 0.1
+        expected = Crossbar(weights, dac=DAC(8), input_scale=0.1).mvm(
+            np.full((1, 12), 0.1)
+        )
+        np.testing.assert_allclose(small.mvm(x), expected, atol=1e-12)
+
+    def test_invalid_input_scale_raises(self, weights):
+        with pytest.raises(ValueError):
+            Crossbar(weights, input_scale=0.0)
+        with pytest.raises(ValueError):
+            Crossbar(weights, input_scale=-1.0)
+
+    def test_tiled_array_batch_invariant(self, weights):
+        from repro.hardware import TiledCrossbarArray
+        arr = TiledCrossbarArray(weights, tile_rows=4, tile_cols=5,
+                                 dac=DAC(6), adc=ADC(10))
+        x = np.random.default_rng(10).normal(size=(6, 12))
+        x[0] *= 30.0
+        full = arr.mvm(x)
+        rows = np.stack([arr.mvm(x[i]) for i in range(6)])
+        np.testing.assert_array_equal(full, rows)
+
+    def test_calibrate_input_scale(self, weights):
+        xbar = Crossbar(weights, dac=DAC(8))
+        samples = np.random.default_rng(11).normal(size=(100, 12)) * 4.0
+        scale = xbar.calibrate_input_scale(samples)
+        assert scale == pytest.approx(np.abs(samples).max())
+        assert xbar.input_scale == scale
+        with pytest.raises(ValueError):
+            xbar.calibrate_input_scale(np.zeros(4))
+
+    def test_tiled_calibrate_input_scale(self, weights):
+        from repro.hardware import TiledCrossbarArray
+        arr = TiledCrossbarArray(weights, tile_rows=4, tile_cols=5, dac=DAC(8))
+        arr.calibrate_input_scale(np.ones(3) * 2.5)
+        assert all(t.input_scale == 2.5 for row in arr.tiles for t in row)

@@ -150,3 +150,18 @@ class TestLosses:
             Tensor(np.zeros((2, 4))), np.array([0, 1])
         )
         assert loss.item() == pytest.approx(np.log(4))
+
+
+class TestFlattenStacked:
+    def test_flatten_channel_major_stack(self):
+        """5-D channel-major stacks (S, C, N, H, W) flatten to (S, N, C*H*W)
+        with the same per-image feature order as the 4-D case."""
+        import numpy as np
+        from repro.autograd import Tensor
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(3, 2, 4, 2, 2))  # (S, C, N, H, W)
+        out = nn.Flatten()(Tensor(x))
+        assert out.shape == (3, 4, 8)
+        for s in range(3):
+            ref = nn.Flatten()(Tensor(x[s].transpose(1, 0, 2, 3))).data
+            np.testing.assert_array_equal(out.data[s], ref)

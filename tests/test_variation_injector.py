@@ -133,3 +133,94 @@ class TestSample:
             }
         for name, value in sampled.items():
             np.testing.assert_allclose(value, applied[name])
+
+
+class TestAppliedRestoresOnException:
+    def test_injector_applied_restores_on_exception(self, lenet):
+        """Weights return to nominal even when the body of
+        ``VariationInjector.applied`` raises mid-evaluation."""
+        before = _snapshot(lenet)
+        injector = VariationInjector(lenet, LogNormalVariation(0.6))
+        with pytest.raises(RuntimeError):
+            with injector.applied(seed=1):
+                raise RuntimeError("forward pass exploded")
+        after = _snapshot(lenet)
+        for name in before:
+            np.testing.assert_array_equal(before[name], after[name])
+
+
+class TestSampleBatch:
+    def test_paired_with_applied(self, lenet):
+        """Stack slice i is bitwise what ``applied`` installs for the i-th
+        spawned stream — the vectorized/loop equivalence contract."""
+        from repro.utils.rng import spawn_rngs
+        injector = VariationInjector(lenet, LogNormalVariation(0.5))
+        stacked = injector.sample_batch(4, seed=99)
+        assert stacked  # non-empty
+        for i, rng in enumerate(spawn_rngs(99, 4)):
+            with injector.applied(rng):
+                for name, param in lenet.named_parameters():
+                    if name in stacked:
+                        np.testing.assert_array_equal(
+                            stacked[name][i], param.data
+                        )
+
+    def test_does_not_mutate_model(self, lenet):
+        before = _snapshot(lenet)
+        VariationInjector(lenet, LogNormalVariation(0.5)).sample_batch(3, 0)
+        after = _snapshot(lenet)
+        for name in before:
+            np.testing.assert_array_equal(before[name], after[name])
+
+    def test_respects_protection_masks(self, lenet):
+        from repro.variation import weighted_layers
+        name, layer = weighted_layers(lenet)[0]
+        mask = np.zeros_like(layer.weight.data, dtype=bool)
+        mask[0] = True
+        injector = VariationInjector(
+            lenet, LogNormalVariation(0.9),
+            protection_masks={f"{name}.weight": mask},
+        )
+        stacked = injector.sample_batch(3, seed=0)
+        for i in range(3):
+            np.testing.assert_array_equal(
+                stacked[f"{name}.weight"][i][0], layer.weight.data[0]
+            )
+
+    def test_invalid_count_raises(self, lenet):
+        injector = VariationInjector(lenet, LogNormalVariation(0.5))
+        with pytest.raises(ValueError):
+            injector.sample_batch(0, seed=0)
+
+
+class TestAppliedStack:
+    def test_installs_and_restores(self, lenet):
+        before = _snapshot(lenet)
+        injector = VariationInjector(lenet, LogNormalVariation(0.5))
+        stacked = injector.sample_batch(3, seed=5)
+        with injector.applied_stack(stacked):
+            for name, param in lenet.named_parameters():
+                if name in stacked:
+                    assert param.data.shape == (3,) + before[name].shape
+        after = _snapshot(lenet)
+        for name in before:
+            np.testing.assert_array_equal(before[name], after[name])
+
+    def test_restores_on_exception(self, lenet):
+        before = _snapshot(lenet)
+        injector = VariationInjector(lenet, LogNormalVariation(0.5))
+        stacked = injector.sample_batch(2, seed=5)
+        with pytest.raises(RuntimeError):
+            with injector.applied_stack(stacked):
+                raise RuntimeError("boom")
+        after = _snapshot(lenet)
+        for name in before:
+            np.testing.assert_array_equal(before[name], after[name])
+
+    def test_shape_mismatch_raises(self, lenet):
+        injector = VariationInjector(lenet, LogNormalVariation(0.5))
+        stacked = injector.sample_batch(2, seed=5)
+        bad = {name: arr[:, :1] for name, arr in stacked.items()}
+        with pytest.raises(ValueError):
+            with injector.applied_stack(bad):
+                pass
