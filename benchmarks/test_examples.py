@@ -1,0 +1,108 @@
+"""Smoke tests: every script in examples/ runs against the current API.
+
+Each example is imported from its file, its module-level scale knobs
+(epochs, Monte-Carlo samples, dataset factories) are shrunk to smoke
+size, and ``main()`` must run to completion. This is an API-regression
+gate, not a quality gate — the printed accuracies are meaningless at
+this scale. Lives in benchmarks/ so the quick unit gate stays fast
+(everything here is auto-marked slow by conftest).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+from repro.data import synth_cifar10, synth_mnist
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _tiny_mnist():
+    return synth_mnist(train_per_class=6, test_per_class=3)
+
+
+def _tiny_cifar10():
+    return synth_cifar10(train_per_class=6, test_per_class=3)
+
+
+def _run_main(module):
+    with redirect_stdout(io.StringIO()) as captured:
+        module.main()
+    return captured.getvalue()
+
+
+def test_quickstart_runs():
+    mod = _load("quickstart")
+    mod.synth_mnist = _tiny_mnist
+    mod.EPOCHS = 1
+    mod.COMP_EPOCHS = 1
+    mod.MC_SAMPLES = 2
+    out = _run_main(mod)
+    assert "recovered" in out
+
+
+def test_layer_sensitivity_runs():
+    mod = _load("layer_sensitivity")
+    mod.synth_mnist = _tiny_mnist
+    mod.EPOCHS = 1
+    mod.MC_SAMPLES = 2
+    out = _run_main(mod)
+    assert "compensation candidates" in out
+
+
+def test_baseline_comparison_runs():
+    mod = _load("baseline_comparison")
+    mod.synth_cifar10 = lambda *a, **k: _tiny_cifar10()
+    mod.EPOCHS = 1
+    mod.STAT_EPOCHS = 1
+    mod.COMP_EPOCHS = 1
+    mod.ADAPT_STEPS = 2
+    mod.MC_SAMPLES = 2
+    out = _run_main(mod)
+    assert "CorrectNet" in out
+
+
+def test_crossbar_deployment_runs():
+    mod = _load("crossbar_deployment")
+    mod.synth_mnist = _tiny_mnist
+    mod.EPOCHS = 1
+    mod.COMP_EPOCHS = 1
+    out = _run_main(mod)
+    assert "cost estimate" in out
+
+
+@pytest.mark.parametrize("argv", [["--tiny"]], ids=["tiny"])
+def test_full_pipeline_runs(argv, monkeypatch):
+    mod = _load("full_pipeline")
+    mod.synth_mnist = _tiny_mnist
+    mod.synth_cifar10 = lambda *a, **k: _tiny_cifar10()
+    make_config = mod.make_config
+
+    def smoke_config(tiny):
+        config = make_config(tiny)
+        config.train.epochs = 1
+        config.compensation.epochs = 1
+        config.rl.episodes = 1
+        config.eval.n_samples = 2
+        config.eval.search_samples = 2
+        return config
+
+    mod.make_config = smoke_config
+    monkeypatch.setattr(sys, "argv", ["full_pipeline.py"] + argv)
+    out = _run_main(mod)
+    assert "recovery ratio" in out

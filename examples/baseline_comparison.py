@@ -26,6 +26,10 @@ from repro.variation import LogNormalVariation
 
 SIGMA = 0.5
 MC_SAMPLES = 10
+EPOCHS = 25        # plain / Lipschitz base training
+STAT_EPOCHS = 10   # statistical (noise-aware) training
+COMP_EPOCHS = 8    # compensation training
+ADAPT_STEPS = 15   # online-retraining steps of [8]/[9]
 
 
 def main() -> None:
@@ -36,8 +40,8 @@ def main() -> None:
     plain = build_model("lenet5", train, seed=0)
     opt = Adam(list(plain.parameters()), lr=3e-3)
     Trainer(plain, opt, seed=0).fit(
-        train, epochs=25, batch_size=32,
-        scheduler=CosineSchedule(opt, 25, min_lr=3e-4),
+        train, epochs=EPOCHS, batch_size=32,
+        scheduler=CosineSchedule(opt, EPOCHS, min_lr=3e-4),
     )
     print(f"clean accuracy: {100 * accuracy(plain, test):.2f}%")
 
@@ -51,7 +55,7 @@ def main() -> None:
                      100 * res.accuracy_mean, "no"])
     adapted = ImportantWeightProtection(plain, 0.05).evaluate(
         variation, test, n_samples=MC_SAMPLES, seed=5,
-        online_retraining=True, train_data=train, adapt_steps=15,
+        online_retraining=True, train_data=train, adapt_steps=ADAPT_STEPS,
     )
     rows.append(["[8] protect + online retrain", 100 * adapted.overhead,
                  100 * adapted.accuracy_mean, "yes"])
@@ -59,7 +63,7 @@ def main() -> None:
     # [9] random sparse adaptation
     rsa = RandomSparseAdaptation(plain, 0.05, seed=0).evaluate(
         variation, test, n_samples=MC_SAMPLES, seed=5,
-        train_data=train, adapt_steps=15,
+        train_data=train, adapt_steps=ADAPT_STEPS,
     )
     rows.append(["[9] RSA + online retrain", 100 * rsa.overhead,
                  100 * rsa.accuracy_mean, "yes"])
@@ -67,7 +71,7 @@ def main() -> None:
     # [11] statistical training
     print("running statistical (noise-aware) training ...")
     stat = StatisticalTraining(plain, variation, lr=3e-3, seed=0)
-    stat.fit(train, epochs=10, batch_size=32)
+    stat.fit(train, epochs=STAT_EPOCHS, batch_size=32)
     stat_res = stat.evaluate(test, n_samples=MC_SAMPLES, seed=5)
     rows.append(["[11] statistical training", 0.0,
                  100 * stat_res.accuracy_mean, "no"])
@@ -78,12 +82,12 @@ def main() -> None:
     reg = OrthogonalityRegularizer(lambda_bound(SIGMA), beta=1.0)
     opt = Adam(list(lipschitz.parameters()), lr=3e-3)
     Trainer(lipschitz, opt, regularizer=reg, seed=0).fit(
-        train, epochs=25, batch_size=32,
-        scheduler=CosineSchedule(opt, 25, min_lr=3e-4),
+        train, epochs=EPOCHS, batch_size=32,
+        scheduler=CosineSchedule(opt, EPOCHS, min_lr=3e-4),
     )
     compensated = CompensationPlan({0: 1.0, 1: 0.5}).apply(lipschitz, seed=1)
     CompensationTrainer(compensated, variation, lr=3e-3, seed=0).fit(
-        train, epochs=8, batch_size=32,
+        train, epochs=COMP_EPOCHS, batch_size=32,
     )
     evaluator = MonteCarloEvaluator(test, n_samples=MC_SAMPLES, seed=5)
     cn = evaluator.evaluate(compensated, variation)

@@ -23,6 +23,8 @@ from repro.utils.tables import format_table
 from repro.variation import LogNormalVariation
 
 SIGMA = 0.4
+EPOCHS = 20
+COMP_EPOCHS = 8
 
 
 def main() -> None:
@@ -33,12 +35,12 @@ def main() -> None:
     model = build_model("lenet5", train, seed=0)
     reg = OrthogonalityRegularizer(lambda_bound(SIGMA), beta=1.0)
     Trainer(model, Adam(list(model.parameters()), lr=3e-3),
-            regularizer=reg, seed=0).fit(train, epochs=20, batch_size=32)
+            regularizer=reg, seed=0).fit(train, epochs=EPOCHS, batch_size=32)
 
     print("training compensation for the first two layers ...")
     compensated = CompensationPlan({0: 1.0, 1: 0.5}).apply(model, seed=1)
     CompensationTrainer(compensated, variation, lr=3e-3, seed=0).fit(
-        train, epochs=8, batch_size=32,
+        train, epochs=COMP_EPOCHS, batch_size=32,
     )
 
     digital_acc = accuracy(model, test)

@@ -20,6 +20,7 @@ from repro.variation import LogNormalVariation, weighted_layers
 
 SIGMA = 0.5
 EPOCHS = 25
+MC_SAMPLES = 10
 
 
 def main() -> None:
@@ -36,7 +37,7 @@ def main() -> None:
     clean = accuracy(model, test)
     print(f"clean accuracy: {100 * clean:.2f}%")
 
-    evaluator = MonteCarloEvaluator(test, n_samples=10, seed=5)
+    evaluator = MonteCarloEvaluator(test, n_samples=MC_SAMPLES, seed=5)
     variation = LogNormalVariation(SIGMA)
     results = layer_sweep(model, variation, evaluator)
 

@@ -22,12 +22,14 @@ from repro.variation import LogNormalVariation
 
 SIGMA = 0.5  # variation level (the paper's hardest setting)
 EPOCHS = 25
+COMP_EPOCHS = 10
+MC_SAMPLES = 15
 
 
 def main() -> None:
     train, test = synth_mnist()
     variation = LogNormalVariation(SIGMA)
-    evaluator = MonteCarloEvaluator(test, n_samples=15, seed=7)
+    evaluator = MonteCarloEvaluator(test, n_samples=MC_SAMPLES, seed=7)
 
     # -- 1. error suppression: Lipschitz-regularized training -----------
     model = build_model("lenet5", train, seed=0)
@@ -52,7 +54,7 @@ def main() -> None:
     plan = CompensationPlan({0: 1.0, 1: 0.5})
     compensated = plan.apply(model, seed=1)
     CompensationTrainer(compensated, variation, lr=3e-3, seed=0).fit(
-        train, epochs=10, batch_size=32,
+        train, epochs=COMP_EPOCHS, batch_size=32,
     )
     corrected = evaluator.evaluate(compensated, variation)
     overhead = plan_overhead(model, compensated)

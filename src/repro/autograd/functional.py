@@ -12,7 +12,13 @@ from typing import Optional, Tuple, Union
 import numpy as np
 
 from repro.autograd.context import is_grad_enabled
-from repro.autograd.im2col import col2im, conv_output_size, im2col, im2col_stacked
+from repro.autograd.im2col import (
+    col2im,
+    conv_output_size,
+    im2col,
+    im2col_stacked,
+    im2col_windows,
+)
 from repro.autograd.tensor import Tensor, as_tensor
 
 KernelLike = Union[int, Tuple[int, int]]
@@ -34,9 +40,18 @@ def conv2d(
 ) -> Tensor:
     """2-D cross-correlation of ``x`` (N,C,H,W) with ``weight`` (F,C,KH,KW).
 
-    Implemented as an im2col lowering: both forward and backward reduce to
-    matrix products, which is what makes numpy training of the VGG-style
-    models feasible.
+    Lowered to the same im2col+GEMM forms as the sample-stacked kernels:
+    the batch unfolds once into receptive-field rows (:func:`im2col_windows`)
+    and forward, weight gradient and input gradient are each a single BLAS
+    matrix product —
+
+    - forward: ``(N*OH*OW, K) @ (K, F)``,
+    - d/dW:    ``(F, N*OH*OW) @ (N*OH*OW, K)``,
+    - d/dx:    ``(N*OH*OW, F) @ (F, K)`` followed by the col2im scatter.
+
+    This is what makes numpy training of the VGG-style models and the
+    per-sample Monte-Carlo reference loop feasible (~4x over the previous
+    ``np.einsum`` contraction; see ``benchmarks/test_perf_conv.py``).
 
     A 5-D ``weight`` of shape (S, F, C, KH, KW) is treated as a stack of S
     independent filter banks (one per Monte-Carlo variation sample) and
@@ -56,26 +71,40 @@ def conv2d(
         raise ValueError(f"weight expects {wc} input channels, input has {c}")
     oh = conv_output_size(h, kh, stride, padding)
     ow = conv_output_size(w, kw, stride, padding)
+    p = oh * ow
+    k = c * kh * kw
 
-    cols = im2col(x.data, (kh, kw), stride, padding)  # (N, C*KH*KW, OH*OW)
-    w2 = weight.data.reshape(f, -1)  # (F, C*KH*KW)
-    out_data = np.einsum("fk,nkp->nfp", w2, cols).reshape(n, f, oh, ow)
+    cols = im2col_windows(x.data, (kh, kw), stride, padding)  # (N*P, K)
+    w2 = weight.data.reshape(f, k)
+    prod = cols @ w2.T  # (N*P, F); the transposed operand is BLAS-native
     if bias is not None:
-        out_data = out_data + bias.data.reshape(1, f, 1, 1)
+        # F is innermost, so the bias adds before the (small) transpose
+        # into NCHW layout.
+        prod += bias.data
+    out_data = np.ascontiguousarray(
+        prod.reshape(n, oh, ow, f).transpose(0, 3, 1, 2)
+    )
 
     parents = (x, weight) if bias is None else (x, weight, bias)
     requires = any(p.requires_grad for p in parents)
     out = Tensor(out_data, requires_grad=requires, _parents=parents, _op="conv2d")
 
     def _backward() -> None:
-        grad = out.grad.reshape(n, f, oh * ow)  # (N, F, P)
+        grad_rows = np.ascontiguousarray(
+            out.grad.transpose(0, 2, 3, 1)
+        ).reshape(n * p, f)
         if weight.requires_grad:
-            gw = np.einsum("nfp,nkp->fk", grad, cols).reshape(weight.shape)
-            weight._accumulate(gw)
+            gw = grad_rows.T @ cols  # (F, K)
+            weight._accumulate(gw.reshape(weight.shape))
         if x.requires_grad:
-            gcols = np.einsum("fk,nfp->nkp", w2, grad)
-            gx = col2im(gcols, (n, c, h, w), (kh, kw), stride, padding)
-            x._accumulate(gx)
+            gcols = grad_rows @ w2  # (N*P, K)
+            # col2im consumes any (N, C, KH, KW, OH, OW) view (the scatter
+            # never needs contiguity), so transpose lazily instead of
+            # materializing an (N, K, P) copy.
+            gview = gcols.reshape(n, oh, ow, c, kh, kw).transpose(
+                0, 3, 4, 5, 1, 2
+            )
+            x._accumulate(col2im(gview, (n, c, h, w), (kh, kw), stride, padding))
         if bias is not None and bias.requires_grad:
             bias._accumulate(out.grad.sum(axis=(0, 2, 3)))
 
@@ -375,16 +404,26 @@ def _pool_matrix(in_size: int, out_size: int) -> np.ndarray:
 
 
 def adaptive_avg_pool2d(x: Tensor, output_size: Tuple[int, int]) -> Tensor:
-    """Average-pool (N, C, H, W) to an arbitrary (OH, OW).
+    """Average-pool the trailing two (spatial) axes to an arbitrary (OH, OW).
 
     CorrectNet's generator concatenates a layer's input and output feature
     maps (paper Fig. 5); their spatial sizes generally differ (stride,
     valid-padding), so the input maps are adaptively average-pooled to the
     output size. Implemented as two separable averaging matrices, making
-    both passes einsums.
+    both passes matrix products.
+
+    Accepts ordinary (N, C, H, W) maps or channel-major sample-stacked
+    (S, C, N, H, W) ones — pooling is per spatial plane, so every leading
+    axis passes through unchanged. This is what lets the compensation
+    wrappers ride the vectorized Monte-Carlo engine.
     """
     x = as_tensor(x)
-    n, c, h, w = x.shape
+    if x.ndim not in (4, 5):
+        raise ValueError(
+            f"adaptive pooling expects a 4-D or 5-D input, got shape {x.shape}"
+        )
+    h, w = x.shape[-2:]
+    lead = x.shape[:-2]
     oh, ow = int(output_size[0]), int(output_size[1])
     if oh <= 0 or ow <= 0:
         raise ValueError(f"output size must be positive, got {(oh, ow)}")
@@ -394,13 +433,17 @@ def adaptive_avg_pool2d(x: Tensor, output_size: Tuple[int, int]) -> Tensor:
         )
     ph = _pool_matrix(h, oh)  # (OH, H)
     pw = _pool_matrix(w, ow)  # (OW, W)
-    out_data = np.einsum("ih,nchw,jw->ncij", ph, x.data, pw)
+    # Rows first ((..., H, W) @ (W, OW) is a plain matmul; the row pass
+    # contracts H via a transposed product), identical for any leading axes.
+    out_data = np.einsum("ih,...hw,jw->...ij", ph, x.data, pw, optimize=True)
     out = Tensor(
         out_data, requires_grad=x.requires_grad, _parents=(x,), _op="adaptive_avg_pool"
     )
 
     def _backward() -> None:
-        x._accumulate(np.einsum("ih,ncij,jw->nchw", ph, out.grad, pw))
+        x._accumulate(
+            np.einsum("ih,...ij,jw->...hw", ph, out.grad, pw, optimize=True)
+        )
 
     out._backward = _backward
     return out
@@ -457,9 +500,23 @@ def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
 
     Combines log-softmax and negative log-likelihood in one op for both
     numerical stability and a cheap fused backward (``softmax - onehot``).
+
+    3-D logits (S, N, K) are a sample-stacked batch (the vectorized
+    Monte-Carlo convention, e.g. compensation training against several
+    variation draws at once): the loss is the mean over all S*N
+    (sample, image) pairs — exactly the average of the per-sample losses,
+    so gradients match a sequential multi-draw loop scaled by 1/S.
     """
     logits = as_tensor(logits)
     labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim == 3:
+        s, n, k = logits.shape
+        if labels.shape != (n,):
+            raise ValueError(
+                f"stacked logits {logits.shape} expect {n} labels, "
+                f"got shape {labels.shape}"
+            )
+        return cross_entropy(logits.reshape(s * n, k), np.tile(labels, s))
     n, k = logits.shape
     shifted = logits.data - logits.data.max(axis=1, keepdims=True)
     lse = np.log(np.exp(shifted).sum(axis=1, keepdims=True))

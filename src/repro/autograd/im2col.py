@@ -78,6 +78,25 @@ def im2col_stacked(
     return view.reshape(s, n * oh * ow, c * kh * kw)
 
 
+def im2col_windows(
+    x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
+) -> np.ndarray:
+    """Unfold ``x`` of shape (N, C, H, W) into (N*OH*OW, C*KH*KW) rows.
+
+    The row-of-receptive-fields layout that feeds the single-GEMM conv2d
+    forward ``(N*OH*OW, K) @ (K, F)``: one matrix product for the whole
+    batch, against :func:`im2col`'s per-image (N, K, P) blocks. Delegates
+    to :func:`im2col_stacked` with a singleton sample axis, so the plain
+    and sample-stacked convolutions share one gather kernel (and its
+    K-innermost layout, whose contiguous KW-long tap reads are what make
+    the gather fast).
+    """
+    n, c, h, w = x.shape
+    return im2col_stacked(
+        x.transpose(1, 0, 2, 3)[None], kernel, stride, padding
+    ).reshape(-1, c * kernel[0] * kernel[1])
+
+
 def col2im(
     cols: np.ndarray,
     input_shape: Tuple[int, int, int, int],
@@ -85,7 +104,13 @@ def col2im(
     stride: int,
     padding: int,
 ) -> np.ndarray:
-    """Adjoint of :func:`im2col`: scatter-add columns back to (N, C, H, W)."""
+    """Adjoint of :func:`im2col`: scatter-add columns back to (N, C, H, W).
+
+    ``cols`` is (N, C*KH*KW, OH*OW), or any array viewable as
+    (N, C, KH, KW, OH, OW) — e.g. a transposed view of
+    :func:`im2col_windows` gradients — since the scatter indexes per-tap
+    slices and never needs contiguity.
+    """
     n, c, h, w = input_shape
     kh, kw = kernel
     oh = conv_output_size(h, kh, stride, padding)

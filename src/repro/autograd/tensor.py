@@ -481,6 +481,25 @@ class Tensor:
         out._backward = _backward
         return out
 
+    def broadcast_to(self, shape: Tuple[int, ...]) -> "Tensor":
+        """Broadcast to ``shape`` (numpy rules); gradient sums the
+        broadcast axes back (the exact adjoint, via ``_unbroadcast``).
+
+        The forward holds a read-only stride-0 view — no copy — so e.g.
+        expanding a shared activation over the Monte-Carlo sample axis
+        before :func:`concatenate` costs only the concatenation itself.
+        """
+        shape = tuple(int(s) for s in shape)
+        out = self._make_child(
+            np.broadcast_to(self.data, shape), (self,), "broadcast"
+        )
+
+        def _backward() -> None:
+            self._accumulate(_unbroadcast(out.grad, self.shape))
+
+        out._backward = _backward
+        return out
+
     def pad2d(self, padding: int) -> "Tensor":
         """Zero-pad the last two (spatial) axes symmetrically."""
         if padding == 0:

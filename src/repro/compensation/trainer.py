@@ -31,6 +31,14 @@ class CompensationTrainer:
         The variation model sampled per batch onto the (frozen) original
         weights during training — compensation must learn to fix *sampled*
         errors, not one fixed error.
+    variation_samples:
+        Independent variation draws per batch (default 1, the paper's
+        protocol). Because the originals are frozen and the compensation
+        wrappers are sample-aware, ``S > 1`` runs as a single stacked
+        forward/backward through the vectorized Monte-Carlo kernels
+        (see :class:`repro.core.training.Trainer`): the gradient averages
+        over ``S`` sampled error patterns per batch at far below ``S``
+        times the cost.
     """
 
     def __init__(
@@ -40,6 +48,7 @@ class CompensationTrainer:
         lr: float = 1e-3,
         grad_clip: Optional[float] = 5.0,
         seed: SeedLike = 0,
+        variation_samples: int = 1,
     ) -> None:
         self.model = model
         trainable = self._freeze_non_compensation(model)
@@ -52,6 +61,7 @@ class CompensationTrainer:
             model,
             Adam(trainable, lr=lr),
             variation=variation,
+            variation_samples=variation_samples,
             grad_clip=grad_clip,
             seed=seed,
         )

@@ -12,6 +12,27 @@ Faithful to paper Fig. 5:
 The generator and compensator convolutions carry ``digital = True``:
 the paper executes them on digital circuits, so variation injection and
 analog mapping skip them.
+
+**Vectorized Monte-Carlo eligibility.** Both wrappers declare
+``sample_aware = True`` and handle the engine's sample-stacked
+activations, so compensated models ride the vectorized engine instead of
+falling back to the reference loop (see ``repro.evaluation.vectorized``).
+Inside :meth:`VariationInjector.applied_stack` only the *original* layer's
+weight carries the leading (S, ...) sample axis — the digital generator /
+compensator weights are never varied and broadcast over the samples. The
+forward detects the stacked case by the original layer's output rank:
+
+- conv: a 5-D output means channel-major (S, n, N, OH, OW) stacked maps;
+  the pooled input concatenates on the channel axis (axis 1) after being
+  expanded over the sample axis, and the 1x1 generator/compensator convs
+  run as shared-weight stacked convolutions;
+- linear: a 3-D output means batch-major (S, N, n) stacked features; the
+  input broadcasts over the sample axis and everything concatenates on
+  the trailing feature axis.
+
+Per the engine's paired-seed contract, both paths compute exactly the
+per-sample math of the reference loop — only BLAS reduction order
+differs.
 """
 
 from __future__ import annotations
@@ -43,6 +64,11 @@ class CompensatedConv2d(Module):
         agent chooses it as a ratio of the original filter count).
     """
 
+    #: The forward handles the vectorized Monte-Carlo engine's stacked
+    #: activations (module docstring), so the eligibility walk in
+    #: ``repro.evaluation.vectorized`` recurses into the children.
+    sample_aware = True
+
     def __init__(self, original: Conv2d, m: int, seed: SeedLike = None) -> None:
         super().__init__()
         if m <= 0:
@@ -70,7 +96,17 @@ class CompensatedConv2d(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         y = self.original(x)
-        pooled = F.adaptive_avg_pool2d(x, y.shape[2:])
+        if y.ndim == 5:
+            # Channel-major stacked output (S, n, N, OH, OW): pool the
+            # input to the output's spatial size, lift it to the stacked
+            # layout, and let the shared-weight stacked conv kernels run
+            # the digital 1x1 convolutions for all S samples at once.
+            pooled = F.adaptive_avg_pool2d(x, y.shape[3:])
+            if pooled.ndim == 4:  # shared (N, l, OH, OW) input batch
+                pooled = pooled.transpose(1, 0, 2, 3)  # (l, N, OH, OW)
+                pooled = pooled.broadcast_to((y.shape[0],) + pooled.shape)
+        else:
+            pooled = F.adaptive_avg_pool2d(x, y.shape[2:])
         compensation = self.generator(concatenate([pooled, y], axis=1))
         return self.compensator(concatenate([y, compensation], axis=1))
 
@@ -92,6 +128,11 @@ class CompensatedLinear(Module):
     is a linear map from ``concat([x, y])`` (l+n features) to ``m``
     features, the compensator from ``concat([y, g])`` to ``n``.
     """
+
+    #: See :class:`CompensatedConv2d` / the module docstring: stacked
+    #: (S, N, features) activations are handled, so the vectorized
+    #: Monte-Carlo engine's eligibility walk recurses into the children.
+    sample_aware = True
 
     def __init__(self, original: Linear, m: int, seed: SeedLike = None) -> None:
         super().__init__()
@@ -116,8 +157,14 @@ class CompensatedLinear(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         y = self.original(x)
-        compensation = self.generator(concatenate([x, y], axis=1))
-        return self.compensator(concatenate([y, compensation], axis=1))
+        if y.ndim == 3 and x.ndim == 2:
+            # Stacked (S, N, n) output from a shared (N, l) input: expand
+            # the input over the sample axis so the concatenation below is
+            # uniform. Features live on the trailing axis either way, so
+            # axis=-1 covers both the plain 2-D and stacked 3-D layouts.
+            x = x.broadcast_to((y.shape[0],) + x.shape)
+        compensation = self.generator(concatenate([x, y], axis=-1))
+        return self.compensator(concatenate([y, compensation], axis=-1))
 
     def compensation_parameters(self) -> int:
         return sum(

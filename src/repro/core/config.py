@@ -34,6 +34,11 @@ class CompensationConfig:
     batch_size: int = 32
     lr: float = 1e-3
     train_sigma_scale: float = 1.0  # variations sampled at sigma * scale
+    # Variation draws per training batch (paper: 1). More draws average
+    # the compensation gradient over several sampled error patterns; with
+    # frozen originals they run as one stacked pass through the
+    # vectorized Monte-Carlo kernels (repro.core.training.Trainer).
+    variation_samples: int = 1
     seed: int = 0
 
 

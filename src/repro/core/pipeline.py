@@ -226,6 +226,7 @@ class CorrectNet:
                 self.variation,
                 lr=self.config.compensation.lr,
                 seed=self.config.compensation.seed,
+                variation_samples=self.config.compensation.variation_samples,
             )
             trainer.fit(
                 self.train_data,

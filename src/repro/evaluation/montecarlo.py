@@ -20,10 +20,12 @@ Three execution engines share that protocol:
   the same per-parameter order, so the installed weights are bitwise equal
   to the loop's sample-by-sample — only the reduction order of the matmul
   differs (float-ulp level). The paired-seed tests in
-  ``tests/test_evaluation.py`` pin this down. Models containing layers
-  without sample-aware kernels (batch norm, compensation wrappers, analog
-  layers) are detected by :func:`supports_sample_axis` and fall through to
-  the next engine.
+  ``tests/test_evaluation.py`` pin this down. Compensated models are
+  sample-aware (their wrappers handle stacked activations around the
+  digital compensation path), so RL reward evaluation and final
+  compensated evaluation both ride this engine. Models containing layers
+  without sample-aware kernels (batch norm, analog layers) are detected
+  by :func:`supports_sample_axis` and fall through to the next engine.
 - **process pool** (``n_workers > 1``): samples are split into contiguous
   index chunks, each evaluated by the reference loop in a worker process
   with its own copy of the model. Chunks carry the same spawned rng

@@ -6,10 +6,23 @@ for all S variation samples at once. That only works when every module in
 the tree propagates the leading sample axis correctly, so eligibility is
 decided by an explicit whitelist rather than by trying and hoping:
 :func:`supports_sample_axis` admits exactly the layer types whose stacked
-semantics are covered by the kernel tests, plus pure delegating containers
-(``Sequential`` and model classes declaring ``sample_aware = True``).
-Anything else — batch norm, compensation wrappers, analog layers — makes
-the evaluator fall back to the reference loop or the process pool.
+semantics are covered by the kernel tests, plus containers that delegate
+to sample-aware children. Two container forms are admitted:
+
+- ``Sequential`` and model classes declaring ``sample_aware = True``
+  whose forward purely delegates (``MLP``, ``LeNet5``, ``VGG``);
+- composite modules declaring ``sample_aware = True`` whose forward
+  *does its own sample-aware math* on top of the children — the
+  compensation wrappers (``CompensatedConv2d`` / ``CompensatedLinear``)
+  handle stacked activations around their digital generator/compensator,
+  so compensated models ride this engine instead of the loop (the RL
+  search reward of ``repro.rl.env`` depends on this).
+
+Anything else — batch norm, analog layers — makes the evaluator fall
+back to the reference loop or the process pool. The ``sample_aware``
+attribute is a *promise* that the module's forward is covered by stacked
+kernel tests; see ``docs/ARCHITECTURE.md`` for the layout conventions a
+sample-aware forward must preserve.
 """
 
 from __future__ import annotations
@@ -55,9 +68,10 @@ def supports_sample_axis(module: Module) -> bool:
     """True when every module in the tree handles a leading sample axis.
 
     Containers are admitted when all their children are: ``Sequential``
-    always delegates, and model classes that are pure delegating wrappers
-    (forward only calls into children) opt in with a ``sample_aware = True``
-    class attribute (``MLP``, ``LeNet5``, ``VGG``).
+    always delegates, and composite modules opt in with a
+    ``sample_aware = True`` class attribute — either pure delegators
+    (``MLP``, ``LeNet5``, ``VGG``) or modules whose own forward math is
+    stacked-layout-aware (the compensation wrappers).
     """
     if isinstance(module, Softmax):
         # Only the trailing class axis is sample-safe; axis 1 of a stacked

@@ -70,10 +70,18 @@ class CompensationEnv:
         self.comp_config = comp_config
         self.eval_config = eval_config
         self.overhead_limit = overhead_limit
+        # Reward evaluation follows the EvalConfig engine routing: the
+        # compensation wrappers are sample-aware, so the reward's
+        # Monte-Carlo estimate rides the vectorized engine. All engines
+        # are seed-paired (see repro.evaluation.montecarlo), so rewards —
+        # and therefore the whole search trajectory — are engine-invariant.
         self._evaluator = MonteCarloEvaluator(
             eval_data,
             n_samples=eval_config.search_samples,
             seed=eval_config.seed,
+            vectorized=eval_config.vectorized,
+            n_workers=eval_config.n_workers,
+            sample_chunk=eval_config.sample_chunk,
         )
         self._cache: Dict[Tuple[float, ...], EnvOutcome] = {}
 
@@ -125,6 +133,7 @@ class CompensationEnv:
                 ) if self.comp_config.train_sigma_scale != 1.0 else self.variation,
                 lr=self.comp_config.lr,
                 seed=self.comp_config.seed,
+                variation_samples=self.comp_config.variation_samples,
             )
             trainer.fit(
                 self.train_data,

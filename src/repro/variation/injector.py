@@ -13,6 +13,16 @@ paper's experiments:
 - *protection masks*: per-parameter boolean masks holding selected weights
   at nominal value (the SRAM-protected weights of the baseline methods
   [8]/[9]).
+
+**The paired-seed contract.** Every consumer of variations — the
+Monte-Carlo reference loop (:meth:`VariationInjector.applied`), the
+vectorized engine (:meth:`VariationInjector.sample_batch` /
+:meth:`VariationInjector.stack_for` + :meth:`applied_stack`), the process
+pool, and multi-draw compensation training — draws perturbations from
+the *same* spawned rng streams in the *same* per-parameter order. Sample
+``i`` of a stack is therefore bitwise equal to what the sequential loop
+would have installed for sample ``i``, which is what makes engine choice
+a pure performance knob (see ``docs/ARCHITECTURE.md``).
 """
 
 from __future__ import annotations
@@ -96,6 +106,13 @@ class VariationInjector:
         self.variation = variation
         self.layers = layers
         self.protection_masks = protection_masks or {}
+
+    def target_parameters(self) -> List[Parameter]:
+        """The :class:`Parameter` objects subject to variation, in the
+        injection order shared by :meth:`sample`, :meth:`sample_batch` and
+        :meth:`applied` (callers use this to check e.g. frozen-ness before
+        choosing a stacked execution path)."""
+        return [param for _, param in _iter_target_params(self.model, self.layers)]
 
     def sample(self, seed: SeedLike = None) -> Dict[str, np.ndarray]:
         """Return ``{param-name: perturbed array}`` without touching the model."""

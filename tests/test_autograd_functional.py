@@ -319,3 +319,124 @@ class TestStackedKernels:
         expected = np.zeros_like(x)
         expected[0, 0, 0, 1, 1] = 1.0
         np.testing.assert_allclose(xt.grad, expected)
+
+
+class TestConvGEMMLowering:
+    """The GEMM-lowered conv2d must agree with a direct einsum reference
+    (the pre-lowering implementation) in values and gradients."""
+
+    @staticmethod
+    def _reference(x, w, b, stride, padding):
+        from repro.autograd.im2col import conv_output_size, im2col
+        n, c, h, wd = x.shape
+        f, _, kh, kw = w.shape
+        oh = conv_output_size(h, kh, stride, padding)
+        ow = conv_output_size(wd, kw, stride, padding)
+        cols = im2col(x, (kh, kw), stride, padding)
+        out = np.einsum("fk,nkp->nfp", w.reshape(f, -1), cols)
+        out = out.reshape(n, f, oh, ow)
+        return out if b is None else out + b.reshape(1, f, 1, 1)
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 0), (1, 1), (2, 1)])
+    def test_forward_matches_einsum_reference(self, stride, padding):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(3, 4, 9, 9))
+        w = rng.normal(size=(5, 4, 3, 3))
+        b = rng.normal(size=(5,))
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride, padding)
+        ref = self._reference(x, w, b, stride, padding)
+        np.testing.assert_allclose(out.data, ref, atol=1e-12)
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1)])
+    def test_gradients_match_einsum_reference(self, stride, padding):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 3, 7, 7))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=(4,))
+        xt = Tensor(x, requires_grad=True)
+        wt = Tensor(w, requires_grad=True)
+        bt = Tensor(b, requires_grad=True)
+        out = F.conv2d(xt, wt, bt, stride, padding)
+        g = rng.normal(size=out.shape)
+        out.backward(g)
+
+        # Reference gradients through the einsum formulation.
+        from repro.autograd.im2col import col2im, im2col
+        kh = kw = 3
+        n, c, h, wd = x.shape
+        f = 4
+        cols = im2col(x, (kh, kw), stride, padding)
+        p = out.shape[2] * out.shape[3]
+        grad = g.reshape(n, f, p)
+        gw_ref = np.einsum("nfp,nkp->fk", grad, cols).reshape(w.shape)
+        gcols = np.einsum("fk,nfp->nkp", w.reshape(f, -1), grad)
+        gx_ref = col2im(gcols, (n, c, h, wd), (kh, kw), stride, padding)
+        np.testing.assert_allclose(wt.grad, gw_ref, atol=1e-10)
+        np.testing.assert_allclose(xt.grad, gx_ref, atol=1e-10)
+        np.testing.assert_allclose(bt.grad, g.sum(axis=(0, 2, 3)), atol=1e-10)
+
+    def test_im2col_windows_layout(self):
+        from repro.autograd.im2col import im2col, im2col_windows
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 3, 5, 5))
+        rows = im2col_windows(x, (3, 3), 1, 0)  # (N*P, K)
+        cols = im2col(x, (3, 3), 1, 0)          # (N, K, P)
+        np.testing.assert_allclose(
+            rows.reshape(2, 9, 27), cols.transpose(0, 2, 1), atol=1e-15
+        )
+
+
+class TestAdaptivePoolStacked:
+    def test_stacked_matches_per_sample(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(3, 2, 4, 7, 7))  # (S, C, N, H, W)
+        out = F.adaptive_avg_pool2d(Tensor(x), (3, 3))
+        assert out.shape == (3, 2, 4, 3, 3)
+        for s in range(3):
+            # channel-major slice s is a (C, N, H, W) block; pooling is
+            # per spatial plane, so axis order does not matter
+            ref = F.adaptive_avg_pool2d(Tensor(x[s]), (3, 3))
+            np.testing.assert_allclose(out.data[s], ref.data, atol=1e-12)
+
+    def test_stacked_gradient_matches_folded(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(2, 3, 2, 6, 6))
+        g = rng.normal(size=(2, 3, 2, 2, 2))
+        xt = Tensor(x, requires_grad=True)
+        F.adaptive_avg_pool2d(xt, (2, 2)).backward(g)
+        folded = Tensor(x.reshape(6, 2, 6, 6), requires_grad=True)
+        F.adaptive_avg_pool2d(folded, (2, 2)).backward(g.reshape(6, 2, 2, 2))
+        np.testing.assert_allclose(
+            xt.grad, folded.grad.reshape(x.shape), atol=1e-12
+        )
+
+    def test_bad_rank_raises(self):
+        with pytest.raises(ValueError):
+            F.adaptive_avg_pool2d(Tensor(np.zeros((2, 3, 4))), (2, 2))
+
+
+class TestCrossEntropyStacked:
+    def test_stacked_loss_is_mean_of_per_sample_losses(self):
+        rng = np.random.default_rng(5)
+        logits = rng.normal(size=(3, 6, 4))
+        labels = rng.integers(0, 4, size=6)
+        stacked = F.cross_entropy(Tensor(logits), labels)
+        per_sample = [
+            F.cross_entropy(Tensor(logits[s]), labels).item() for s in range(3)
+        ]
+        assert stacked.item() == pytest.approx(np.mean(per_sample), rel=1e-12)
+
+    def test_stacked_gradient_is_scaled_per_sample_gradient(self):
+        rng = np.random.default_rng(6)
+        logits = rng.normal(size=(2, 5, 3))
+        labels = rng.integers(0, 3, size=5)
+        lt = Tensor(logits, requires_grad=True)
+        F.cross_entropy(lt, labels).backward()
+        for s in range(2):
+            ref = Tensor(logits[s], requires_grad=True)
+            F.cross_entropy(ref, labels).backward()
+            np.testing.assert_allclose(lt.grad[s], ref.grad / 2, atol=1e-12)
+
+    def test_label_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 4, 3))), np.zeros(3, dtype=int))

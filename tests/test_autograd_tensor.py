@@ -213,3 +213,35 @@ class TestElementwise:
     def test_exp_log_inverse(self):
         x = np.array([0.5, 1.0, 2.0])
         np.testing.assert_allclose(Tensor(x).log().exp().data, x)
+
+
+class TestBroadcastTo:
+    def test_values_and_no_copy(self):
+        x = Tensor(np.arange(3.0))
+        out = x.broadcast_to((4, 3))
+        np.testing.assert_allclose(out.data, np.tile(np.arange(3.0), (4, 1)))
+        # stride-0 view, not a materialized copy
+        assert out.data.base is not None
+        assert out.data.strides[0] == 0
+
+    def test_gradient_sums_broadcast_axes(self):
+        x = Tensor(np.arange(3.0), requires_grad=True)
+        out = x.broadcast_to((4, 3))
+        out.backward(np.ones((4, 3)))
+        np.testing.assert_allclose(x.grad, [4.0, 4.0, 4.0])
+
+    def test_gradient_sums_stretched_singleton(self):
+        x = Tensor(np.ones((1, 2)), requires_grad=True)
+        out = x.broadcast_to((3, 2))
+        g = np.arange(6.0).reshape(3, 2)
+        out.backward(g)
+        np.testing.assert_allclose(x.grad, g.sum(axis=0, keepdims=True))
+
+    def test_sample_axis_expansion_shape(self):
+        """The compensation-wrapper use: lift a shared activation onto a
+        leading Monte-Carlo sample axis."""
+        x = Tensor(np.ones((5, 4)), requires_grad=True)
+        out = x.broadcast_to((3, 5, 4))
+        assert out.shape == (3, 5, 4)
+        out.backward(np.ones((3, 5, 4)))
+        np.testing.assert_allclose(x.grad, np.full((5, 4), 3.0))
