@@ -37,6 +37,7 @@ setup(
     },
     entry_points={
         "console_scripts": [
+            "correctnet=repro.cli:main",
             "correctnet-train=repro.cli:train_main",
             "correctnet-eval=repro.cli:eval_main",
             "correctnet-search=repro.cli:search_main",

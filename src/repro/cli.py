@@ -3,7 +3,14 @@
 ``correctnet-train`` — train a model (optionally Lipschitz-regularized) and
 save it; ``correctnet-eval`` — Monte-Carlo evaluate a saved model under
 variations; ``correctnet-search`` — run the full CorrectNet pipeline and
-print the Table-I style row.
+print the Table-I style row. ``python -m repro.cli {train,eval,search}``
+dispatches to the same entry points without installed console scripts.
+
+Variation scenarios are named on the command line through the spec grammar
+(see ``repro.variation.spec``): ``--variation "lognormal:0.5+quant:4"``
+composes the paper's log-normal model with 4-bit level quantization;
+``--variation "lognormal:0.5;@0=none"`` protects the first weighted layer.
+``--sigma`` remains the shorthand for the paper's single log-normal model.
 """
 
 from __future__ import annotations
@@ -25,7 +32,8 @@ from repro.models.registry import build_model
 from repro.optim.optimizers import Adam
 from repro.utils.logging import set_verbosity
 from repro.utils.tables import format_table
-from repro.variation.models import LogNormalVariation
+from repro.variation.models import LogNormalVariation, VariationModel
+from repro.variation.spec import parse_spec, to_string
 
 _DATASETS = {
     "synth_mnist": synth_mnist,
@@ -41,10 +49,29 @@ def _load_data(name: str):
 
 
 def _common_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--model", default="lenet5", help="lenet5|vgg16|vgg11|mlp")
+    parser.add_argument(
+        "--model", default="lenet5", help="lenet5|vgg16|vgg11|vgg16bn|vgg11bn|mlp"
+    )
     parser.add_argument("--dataset", default="synth_mnist", help=f"{list(_DATASETS)}")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--verbose", action="store_true")
+
+
+def _add_variation_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--variation", default=None, metavar="SPEC",
+        help="variation spec in the grammar of repro.variation.spec, e.g. "
+        "'lognormal:0.5+quant:4' or 'lognormal:0.5;@0=none'; overrides "
+        "--sigma when given",
+    )
+
+
+def _resolve_variation(args) -> VariationModel:
+    """The scenario a command should run: --variation spec, else the
+    paper's log-normal model at --sigma."""
+    if getattr(args, "variation", None):
+        return parse_spec(args.variation)
+    return LogNormalVariation(args.sigma)
 
 
 def train_main(argv: Optional[List[str]] = None) -> int:
@@ -54,6 +81,7 @@ def train_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--batch-size", type=int, default=32)
     parser.add_argument("--lr", type=float, default=1e-3)
     parser.add_argument("--sigma", type=float, default=0.0, help="if > 0, apply Lipschitz regularization sized for this sigma")
+    _add_variation_arg(parser)
     parser.add_argument("--beta", type=float, default=1e-3)
     parser.add_argument("--save", default=None, help="path for the .npz checkpoint")
     args = parser.parse_args(argv)
@@ -63,8 +91,12 @@ def train_main(argv: Optional[List[str]] = None) -> int:
     train, test = _load_data(args.dataset)
     model = build_model(args.model, train, seed=args.seed)
     regularizer = None
-    if args.sigma > 0:
-        regularizer = OrthogonalityRegularizer(lambda_bound(args.sigma), beta=args.beta)
+    # Regularization strength is sized for the deployment scenario's
+    # magnitude: a --variation spec supplies it directly, --sigma is the
+    # log-normal shorthand.
+    reg_sigma = _resolve_variation(args).magnitude
+    if reg_sigma > 0:
+        regularizer = OrthogonalityRegularizer(lambda_bound(reg_sigma), beta=args.beta)
     trainer = Trainer(
         model,
         Adam(list(model.parameters()), lr=args.lr),
@@ -87,6 +119,7 @@ def eval_main(argv: Optional[List[str]] = None) -> int:
     _common_args(parser)
     parser.add_argument("--checkpoint", required=True)
     parser.add_argument("--sigma", type=float, default=0.5)
+    _add_variation_arg(parser)
     parser.add_argument("--samples", type=int, default=50)
     parser.add_argument(
         "--engine", choices=["vectorized", "loop", "pool"], default="vectorized",
@@ -117,11 +150,13 @@ def eval_main(argv: Optional[List[str]] = None) -> int:
         vectorized=args.engine == "vectorized",
         n_workers=n_workers,
     )
-    result = evaluator.evaluate(model, LogNormalVariation(args.sigma))
+    variation = _resolve_variation(args)
+    result = evaluator.evaluate(model, variation)
     print(
         format_table(
-            ["sigma", "clean acc %", "mean acc %", "std %"],
-            [[args.sigma, 100 * clean, 100 * result.mean, 100 * result.std]],
+            ["variation", "clean acc %", "mean acc %", "std %"],
+            [[to_string(variation), 100 * clean, 100 * result.mean,
+              100 * result.std]],
         )
     )
     return 0
@@ -131,13 +166,17 @@ def search_main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description="Run the full CorrectNet pipeline (suppression + RL-compensation)")
     _common_args(parser)
     parser.add_argument("--sigma", type=float, default=0.5)
+    _add_variation_arg(parser)
     args = parser.parse_args(argv)
     if args.verbose:
         set_verbosity()
 
     train, test = _load_data(args.dataset)
     model = build_model(args.model, train, seed=args.seed)
-    config = fast_pipeline_config(sigma=args.sigma, seed=args.seed)
+    variation = _resolve_variation(args)
+    config = fast_pipeline_config(
+        sigma=variation.magnitude, seed=args.seed, variation=variation
+    )
     result = CorrectNet(model, train, test, config).run()
     print(
         format_table(
@@ -149,5 +188,26 @@ def search_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+_COMMANDS = {
+    "train": train_main,
+    "eval": eval_main,
+    "search": search_main,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.cli {train,eval,search} [args...]`` dispatcher —
+    the console-script entry points without needing an installed package
+    (used by the CI spec-matrix smoke job)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] not in _COMMANDS:
+        print(
+            f"usage: python -m repro.cli {{{','.join(_COMMANDS)}}} [options]",
+            file=sys.stderr,
+        )
+        return 2
+    return _COMMANDS[argv[0]](argv[1:])
+
+
 if __name__ == "__main__":
-    sys.exit(train_main())
+    sys.exit(main())

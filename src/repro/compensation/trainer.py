@@ -17,7 +17,7 @@ from repro.data.dataset import ArrayDataset
 from repro.nn.module import Module, Parameter
 from repro.optim.optimizers import Adam
 from repro.utils.rng import SeedLike
-from repro.variation.models import VariationModel
+from repro.variation.spec import VariationLike
 
 
 class CompensationTrainer:
@@ -28,9 +28,10 @@ class CompensationTrainer:
     model:
         A compensated model (output of :meth:`CompensationPlan.apply`).
     variation:
-        The variation model sampled per batch onto the (frozen) original
-        weights during training — compensation must learn to fix *sampled*
-        errors, not one fixed error.
+        The variation spec (model, grammar string, or spec dict) sampled
+        per batch onto the (frozen) original weights during training —
+        compensation must learn to fix *sampled* errors, not one fixed
+        error.
     variation_samples:
         Independent variation draws per batch (default 1, the paper's
         protocol). Because the originals are frozen and the compensation
@@ -44,7 +45,7 @@ class CompensationTrainer:
     def __init__(
         self,
         model: Module,
-        variation: VariationModel,
+        variation: "VariationLike",
         lr: float = 1e-3,
         grad_clip: Optional[float] = 5.0,
         seed: SeedLike = 0,

@@ -5,12 +5,23 @@ training, evaluation) is driven by one of these plain dataclasses so
 experiments are declarative and serializable. ``fast_pipeline_config``
 returns settings sized for CI / benchmark runs; the paper-scale settings
 are the dataclass defaults.
+
+The variation scenario is part of the config: ``PipelineConfig.variation``
+holds a variation spec (a :class:`~repro.variation.models.VariationModel`,
+a grammar string like ``"lognormal:0.5+quant:4"``, or a spec dict — all
+normalized to a model at construction). ``None`` keeps the paper's default
+``LogNormalVariation(sigma)``. :meth:`PipelineConfig.to_dict` /
+:meth:`PipelineConfig.from_dict` round-trip the whole config — spec
+included — through plain JSON-able dicts.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.variation.models import LogNormalVariation, VariationModel
 
 
 @dataclass
@@ -78,16 +89,72 @@ class PipelineConfig:
     """Everything the end-to-end CorrectNet run needs."""
 
     sigma: float = 0.5  # paper's headline variation level
+    # Variation scenario: a spec (model / grammar string / dict), or None
+    # for the paper's LogNormalVariation(sigma). Normalized to a model in
+    # __post_init__ so two configs built from equivalent forms compare
+    # equal and serialize identically.
+    variation: Optional[Union[VariationModel, str, Dict]] = None
     train: TrainConfig = field(default_factory=TrainConfig)
     compensation: CompensationConfig = field(default_factory=CompensationConfig)
     rl: RLConfig = field(default_factory=RLConfig)
     eval: EvalConfig = field(default_factory=EvalConfig)
 
+    def __post_init__(self) -> None:
+        if self.variation is not None and not isinstance(
+            self.variation, VariationModel
+        ):
+            from repro.variation.spec import parse_spec
 
-def fast_pipeline_config(sigma: float = 0.5, seed: int = 0) -> PipelineConfig:
+            self.variation = parse_spec(self.variation)
+
+    def resolved_variation(self) -> VariationModel:
+        """The scenario this config describes (spec, or log-normal default)."""
+        if self.variation is None:
+            return LogNormalVariation(self.sigma)
+        return self.variation
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable payload; inverse of :meth:`from_dict`."""
+        from repro.variation.spec import to_dict as spec_to_dict
+
+        return {
+            "sigma": self.sigma,
+            "variation": (
+                None if self.variation is None else spec_to_dict(self.variation)
+            ),
+            "train": dataclasses.asdict(self.train),
+            "compensation": dataclasses.asdict(self.compensation),
+            "rl": dataclasses.asdict(self.rl),
+            "eval": dataclasses.asdict(self.eval),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "PipelineConfig":
+        """Rebuild a config (e.g. from a JSON experiment record) such that
+        ``PipelineConfig.from_dict(cfg.to_dict()) == cfg``."""
+        rl_kwargs = dict(payload.get("rl", {}))
+        for key in ("ratio_choices", "overhead_limits"):
+            if key in rl_kwargs:
+                rl_kwargs[key] = tuple(rl_kwargs[key])
+        return cls(
+            sigma=payload.get("sigma", 0.5),
+            variation=payload.get("variation"),
+            train=TrainConfig(**payload.get("train", {})),
+            compensation=CompensationConfig(**payload.get("compensation", {})),
+            rl=RLConfig(**rl_kwargs),
+            eval=EvalConfig(**payload.get("eval", {})),
+        )
+
+
+def fast_pipeline_config(
+    sigma: float = 0.5,
+    seed: int = 0,
+    variation: Optional[Union[VariationModel, str, Dict]] = None,
+) -> PipelineConfig:
     """Reduced settings for CI and the benchmark harness's fast mode."""
     return PipelineConfig(
         sigma=sigma,
+        variation=variation,
         train=TrainConfig(epochs=20, batch_size=32, lr=3e-3, beta=1.0, seed=seed),
         compensation=CompensationConfig(epochs=10, lr=3e-3, seed=seed),
         # Small scaled-down models have coarser overhead granularity than

@@ -35,7 +35,7 @@ from repro.optim.optimizers import Adam
 from repro.rl.env import CompensationEnv
 from repro.rl.search import RLSearch, SearchResult
 from repro.utils.logging import get_logger
-from repro.variation.models import LogNormalVariation, VariationModel
+from repro.variation.spec import parse_spec, VariationLike
 
 logger = get_logger("core.pipeline")
 
@@ -100,8 +100,11 @@ class CorrectNet:
     config:
         A :class:`PipelineConfig`; ``fast_pipeline_config()`` for CI scale.
     variation:
-        Variation model at the target magnitude. Defaults to the paper's
-        ``LogNormalVariation(config.sigma)``.
+        Variation spec at the target magnitude — a
+        :class:`~repro.variation.models.VariationModel`, a grammar string
+        (``"lognormal:0.5+quant:4"``) or a spec dict. Defaults to
+        ``config.resolved_variation()`` (the config's spec, else the
+        paper's ``LogNormalVariation(config.sigma)``).
     """
 
     def __init__(
@@ -110,13 +113,15 @@ class CorrectNet:
         train_data: ArrayDataset,
         test_data: ArrayDataset,
         config: PipelineConfig,
-        variation: Optional[VariationModel] = None,
+        variation: Optional["VariationLike"] = None,
     ) -> None:
         self.model = model
         self.train_data = train_data
         self.test_data = test_data
         self.config = config
-        self.variation = variation or LogNormalVariation(config.sigma)
+        self.variation = (
+            config.resolved_variation() if variation is None else parse_spec(variation)
+        )
         self.lam = lambda_bound(self.variation.magnitude, k=config.train.k)
         self.regularizer = OrthogonalityRegularizer(
             self.lam, beta=config.train.beta

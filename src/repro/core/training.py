@@ -27,6 +27,7 @@ from repro.utils.logging import get_logger
 from repro.utils.rng import new_rng, SeedLike
 from repro.variation.injector import VariationInjector
 from repro.variation.models import VariationModel
+from repro.variation.spec import parse_spec, VariationLike
 
 logger = get_logger("core.training")
 
@@ -56,9 +57,11 @@ class Trainer:
         Optional object with ``penalty(model) -> Tensor`` added to the loss
         (the Lipschitz term of eq. 11).
     variation:
-        Optional :class:`VariationModel`; when given, every batch runs with
-        an independently sampled weight perturbation (noise-aware
-        training / compensation training).
+        Optional variation spec — a :class:`VariationModel`, a grammar
+        string (``"lognormal:0.5+quant:4"``) or a spec dict; when given,
+        every batch runs with an independently sampled weight perturbation
+        (noise-aware training / compensation training). ``LayerMap`` specs
+        resolve per layer through the injector.
     variation_samples:
         Number of independent variation draws per batch (default 1, the
         paper's protocol). With more draws the batch gradient averages
@@ -78,7 +81,7 @@ class Trainer:
         optimizer: Optimizer,
         loss_fn: Optional[Module] = None,
         regularizer=None,
-        variation: Optional[VariationModel] = None,
+        variation: Optional["VariationLike"] = None,
         variation_samples: int = 1,
         grad_clip: Optional[float] = None,
         seed: SeedLike = 0,
@@ -92,7 +95,7 @@ class Trainer:
         self.optimizer = optimizer
         self.loss_fn = loss_fn or CrossEntropyLoss()
         self.regularizer = regularizer
-        self.variation = variation
+        self.variation = None if variation is None else parse_spec(variation)
         self.variation_samples = variation_samples
         self.grad_clip = grad_clip
         self._rng = new_rng(seed)

@@ -16,12 +16,12 @@ from typing import List, Optional, Tuple
 from repro.evaluation.montecarlo import MCResult, MonteCarloEvaluator
 from repro.nn.module import Module
 from repro.variation.injector import weighted_layers
-from repro.variation.models import VariationModel
+from repro.variation.spec import parse_spec, VariationLike
 
 
 def layer_sweep(
     model: Module,
-    variation: VariationModel,
+    variation: "VariationLike",
     evaluator: MonteCarloEvaluator,
 ) -> List[Tuple[int, MCResult]]:
     """Accuracy with variations injected from layer ``i`` to the last layer.
@@ -29,6 +29,7 @@ def layer_sweep(
     Returns ``[(i, MCResult), ...]`` for i = 1 .. L (1-indexed, matching the
     paper's x-axis; i = 1 means every layer is perturbed).
     """
+    variation = parse_spec(variation)
     layers = weighted_layers(model)
     results = []
     for i in range(1, len(layers) + 1):
@@ -39,7 +40,7 @@ def layer_sweep(
 
 def select_candidates(
     model: Module,
-    variation: VariationModel,
+    variation: "VariationLike",
     evaluator: MonteCarloEvaluator,
     original_accuracy: float,
     threshold: float = 0.95,
@@ -54,6 +55,7 @@ def select_candidates(
     the last layer alone violates the threshold, every layer is a
     candidate.
     """
+    variation = parse_spec(variation)
     layers = weighted_layers(model)
     target = threshold * original_accuracy
     candidate_count = len(layers)  # worst case: all layers

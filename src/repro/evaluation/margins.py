@@ -19,7 +19,7 @@ from repro.data.dataset import ArrayDataset
 from repro.nn.module import Module
 from repro.utils.rng import spawn_rngs, SeedLike
 from repro.variation.injector import VariationInjector
-from repro.variation.models import VariationModel
+from repro.variation.spec import VariationLike
 
 
 @dataclass
@@ -81,7 +81,7 @@ def margin_report(
 def logit_shift_under_variation(
     model: Module,
     dataset: ArrayDataset,
-    variation: VariationModel,
+    variation: "VariationLike",
     n_samples: int = 8,
     seed: SeedLike = 0,
     batch_size: int = 256,

@@ -28,8 +28,18 @@ Three execution engines share that protocol:
   by :func:`supports_sample_axis` and fall through to the next engine.
 - **process pool** (``n_workers > 1``): samples are split into contiguous
   index chunks, each evaluated by the reference loop in a worker process
-  with its own copy of the model. Chunks carry the same spawned rng
-  streams, so results are identical to the serial loop, in order.
+  with its own copy of the model. The model, dataset, layer subset and
+  masks are shipped **once per worker** through the executor initializer;
+  task payloads carry only the chunk's rng streams, so IPC is
+  O(workers + samples), not O(workers x dataset). Chunks carry the same
+  spawned rng streams, so results are identical to the serial loop, in
+  order.
+
+Every ``variation`` argument accepts a full spec — a ``VariationModel``, a
+grammar string (``"lognormal:0.5+quant:4"``), or a spec dict (see
+``repro.variation.spec``). Composed and per-layer specs ride all three
+engines with the same paired-seed guarantee, because composition happens
+inside ``VariationModel.perturb`` on the same per-sample streams.
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ from repro.nn.module import Module
 from repro.utils.rng import spawn_rngs, SeedLike
 from repro.variation.injector import VariationInjector
 from repro.variation.models import NoVariation, VariationModel
+from repro.variation.spec import parse_spec, scale_to, VariationLike
 
 
 @dataclass
@@ -88,15 +99,36 @@ class MCResult:
         return f"MCResult(mean={self.mean:.4f}, std={self.std:.4f}, n={len(self.accuracies)})"
 
 
-def _pool_worker(payload) -> List[float]:
+#: Per-worker state installed by :func:`_pool_init` — the executor
+#: initializer runs once per worker process, so the (potentially large)
+#: model and dataset cross the IPC boundary once per worker instead of
+#: once per task payload.
+_POOL_STATE: Dict[str, object] = {}
+
+
+def _pool_init(model, variation, layers, masks, dataset, batch_size) -> None:
+    """Executor initializer: build this worker's injector and eval context.
+
+    The model, layer subset and masks travel in one pickle so object
+    identity between ``layers`` entries and modules inside ``model``
+    survives the round-trip.
+    """
+    _POOL_STATE["model"] = model
+    _POOL_STATE["injector"] = VariationInjector(model, variation, layers, masks)
+    _POOL_STATE["dataset"] = dataset
+    _POOL_STATE["batch_size"] = batch_size
+
+
+def _pool_worker(rngs) -> List[float]:
     """Evaluate one contiguous chunk of samples with the reference loop.
 
-    Module-level so it pickles; the model, layer subset and masks travel in
-    one payload so object identity between ``layers`` entries and modules
-    inside ``model`` survives the round-trip.
+    Receives only the chunk's rng streams; everything else lives in
+    :data:`_POOL_STATE` since :func:`_pool_init`.
     """
-    model, variation, layers, masks, dataset, batch_size, rngs = payload
-    injector = VariationInjector(model, variation, layers, masks)
+    model = _POOL_STATE["model"]
+    injector = _POOL_STATE["injector"]
+    dataset = _POOL_STATE["dataset"]
+    batch_size = _POOL_STATE["batch_size"]
     accs = []
     for rng in rngs:
         with injector.applied(rng):
@@ -165,27 +197,42 @@ class MonteCarloEvaluator:
     def evaluate(
         self,
         model: Module,
-        variation: VariationModel,
+        variation: "VariationLike",
         layers: Optional[Sequence[Module]] = None,
         protection_masks: Optional[Dict[str, np.ndarray]] = None,
     ) -> MCResult:
         """Accuracy over ``n_samples`` draws of ``variation``.
 
+        ``variation`` is any spec form (model / grammar string / dict).
         ``layers`` restricts injection to a layer subset (Fig. 9);
         ``protection_masks`` holds protected weights at nominal (baselines).
         A ``NoVariation`` model short-circuits to a single deterministic
         evaluation. Engine choice (vectorized / pool / loop) follows the
         module docstring; all three return paired results for a seed.
+
+        Monte-Carlo evaluation is an eval-mode protocol, so the model is
+        switched to eval mode up front (and restored afterwards) — this is
+        also what lets eval-only sample-aware kernels (batch norm's affine
+        fold) qualify for the vectorized engine regardless of the mode the
+        caller left the model in.
         """
-        if isinstance(variation, NoVariation) or variation.magnitude == 0.0:
-            acc = accuracy(model, self.dataset, self.batch_size)
-            return MCResult([acc])
-        injector = VariationInjector(model, variation, layers, protection_masks)
-        if self.vectorized and supports_sample_axis(model):
-            return self._evaluate_vectorized(model, injector)
-        if self.n_workers > 1:
-            return self._evaluate_pool(model, variation, layers, protection_masks)
-        return self._evaluate_loop(model, injector)
+        variation = parse_spec(variation)
+        was_training = model.training
+        model.eval()
+        try:
+            if isinstance(variation, NoVariation) or variation.magnitude == 0.0:
+                acc = accuracy(model, self.dataset, self.batch_size)
+                return MCResult([acc])
+            injector = VariationInjector(model, variation, layers, protection_masks)
+            if self.vectorized and supports_sample_axis(model):
+                return self._evaluate_vectorized(model, injector)
+            if self.n_workers > 1:
+                return self._evaluate_pool(
+                    model, variation, layers, protection_masks
+                )
+            return self._evaluate_loop(model, injector)
+        finally:
+            model.train(was_training)
 
     # ------------------------------------------------------------------
     # Engines
@@ -239,48 +286,52 @@ class MonteCarloEvaluator:
         rngs = spawn_rngs(self.seed, self.n_samples)
         n_workers = min(self.n_workers, self.n_samples)
         chunk_size = -(-self.n_samples // n_workers)  # ceil division
-        payloads = [
-            (
+        chunks = [
+            rngs[start : start + chunk_size]
+            for start in range(0, self.n_samples, chunk_size)
+        ]
+        with ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_pool_init,
+            initargs=(
                 model,
                 variation,
                 None if layers is None else list(layers),
                 protection_masks,
                 self.dataset,
                 self.batch_size,
-                rngs[start : start + chunk_size],
-            )
-            for start in range(0, self.n_samples, chunk_size)
-        ]
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            parts = list(pool.map(_pool_worker, payloads))
+            ),
+        ) as pool:
+            parts = list(pool.map(_pool_worker, chunks))
         return MCResult([acc for part in parts for acc in part])
 
     # ------------------------------------------------------------------
     def sweep_sigma(
         self,
         model: Module,
-        variation: VariationModel,
+        variation: "VariationLike",
         sigmas: Sequence[float],
         layers: Optional[Sequence[Module]] = None,
         protection_masks: Optional[Dict[str, np.ndarray]] = None,
     ) -> List[MCResult]:
-        """Evaluate across a sigma grid by rescaling ``variation``
-        (Fig. 2 / Fig. 7 x-axes). The base variation's magnitude must be
-        non-zero so scaling is well defined. ``layers`` and
-        ``protection_masks`` are forwarded to every :meth:`evaluate` call,
-        so layer subsets (Fig. 9) and protection baselines can be swept."""
-        base = variation.magnitude
-        if base <= 0:
+        """Evaluate across a magnitude grid by rescaling ``variation``
+        (Fig. 2 / Fig. 7 x-axes). This is the grid form of
+        :func:`repro.variation.spec.scale_to`: each point is the same spec
+        rescaled so its reported magnitude equals the grid value — composed
+        specs scale every component, per-layer maps scale every override.
+        The base spec's magnitude must be non-zero so scaling is well
+        defined. ``layers`` and ``protection_masks`` are forwarded to every
+        :meth:`evaluate` call, so layer subsets (Fig. 9) and protection
+        baselines can be swept."""
+        variation = parse_spec(variation)
+        if variation.magnitude <= 0:
             raise ValueError("sweep requires a variation with positive magnitude")
-        results = []
-        for sigma in sigmas:
-            scaled = variation.scaled(sigma / base)
-            results.append(
-                self.evaluate(
-                    model,
-                    scaled,
-                    layers=layers,
-                    protection_masks=protection_masks,
-                )
+        return [
+            self.evaluate(
+                model,
+                scale_to(variation, sigma),
+                layers=layers,
+                protection_masks=protection_masks,
             )
-        return results
+            for sigma in sigmas
+        ]

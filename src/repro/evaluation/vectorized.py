@@ -18,11 +18,21 @@ to sample-aware children. Two container forms are admitted:
   so compensated models ride this engine instead of the loop (the RL
   search reward of ``repro.rl.env`` depends on this).
 
-Anything else — batch norm, analog layers — makes the evaluator fall
-back to the reference loop or the process pool. The ``sample_aware``
-attribute is a *promise* that the module's forward is covered by stacked
-kernel tests; see ``docs/ARCHITECTURE.md`` for the layout conventions a
-sample-aware forward must preserve.
+Batch norm is admitted **in eval mode only**: its eval forward is an
+affine per-channel fold over running statistics that broadcasts over a
+leading sample axis (see ``repro.nn.batchnorm``), while its training
+forward computes batch statistics whose axes a stacked layout would
+corrupt. The Monte-Carlo evaluator forces eval mode before dispatching,
+so batch-norm models (the VGG ``batch_norm=True`` path) ride the
+vectorized engine; the stacked-training path of
+``repro.core.training.Trainer`` sees ``training=True`` and correctly
+falls back to the sequential loop.
+
+Anything else — analog layers, mode-sensitive custom modules — makes the
+evaluator fall back to the reference loop or the process pool. The
+``sample_aware`` attribute is a *promise* that the module's forward is
+covered by stacked kernel tests; see ``docs/ARCHITECTURE.md`` for the
+layout conventions a sample-aware forward must preserve.
 """
 
 from __future__ import annotations
@@ -45,6 +55,7 @@ from repro.nn.layers import (
     Softmax,
     Tanh,
 )
+from repro.nn.batchnorm import _BatchNorm
 from repro.nn.module import Module
 
 #: Leaf modules whose forward is elementwise, shape-agnostic, or explicitly
@@ -77,6 +88,10 @@ def supports_sample_axis(module: Module) -> bool:
         # Only the trailing class axis is sample-safe; axis 1 of a stacked
         # (S, N, K) activation would normalize over the batch.
         return module.axis == -1
+    if isinstance(module, _BatchNorm):
+        # The eval-mode affine fold broadcasts over a sample axis; the
+        # training-mode batch statistics do not (see repro.nn.batchnorm).
+        return not module.training
     if isinstance(module, SAMPLE_AWARE_LEAVES):
         return True
     if isinstance(module, Sequential) or getattr(module, "sample_aware", False):

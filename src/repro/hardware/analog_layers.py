@@ -24,7 +24,9 @@ from repro.hardware.tiling import TiledCrossbarArray
 from repro.nn.layers import Conv2d, Linear, Sequential
 from repro.nn.module import Module
 from repro.utils.rng import SeedLike
+from repro.variation.injector import weighted_layers
 from repro.variation.models import NoVariation, VariationModel
+from repro.variation.spec import parse_spec, VariationLike
 
 
 class AnalogLinear(Module):
@@ -58,9 +60,9 @@ class AnalogLinear(Module):
         )
 
     def program(
-        self, variation: VariationModel = NoVariation(), seed: SeedLike = None
+        self, variation: "VariationLike" = NoVariation(), seed: SeedLike = None
     ) -> "AnalogLinear":
-        self.array.program(variation, seed)
+        self.array.program(parse_spec(variation), seed)
         return self
 
     def forward(self, x: Tensor) -> Tensor:
@@ -112,9 +114,9 @@ class AnalogConv2d(Module):
         )
 
     def program(
-        self, variation: VariationModel = NoVariation(), seed: SeedLike = None
+        self, variation: "VariationLike" = NoVariation(), seed: SeedLike = None
     ) -> "AnalogConv2d":
-        self.array.program(variation, seed)
+        self.array.program(parse_spec(variation), seed)
         return self
 
     def forward(self, x: Tensor) -> Tensor:
@@ -148,7 +150,7 @@ def analogize(
     read_noise_sigma: float = 0.0,
     wire_resistance: float = 0.0,
     input_scale: Optional[float] = None,
-    variation: VariationModel = NoVariation(),
+    variation: "VariationLike" = NoVariation(),
     seed: SeedLike = None,
 ) -> Module:
     """Replace Linear/Conv2d layers with analog equivalents, in place.
@@ -156,15 +158,29 @@ def analogize(
     Modules flagged ``digital = True`` (compensation layers) are left
     untouched. Returns ``model`` for chaining. Programming variation is
     applied per layer with independent seeds.
+
+    ``variation`` is any spec form (model, grammar string, spec dict) —
+    the same spec the weight-domain injector consumes, so a deployment
+    scenario is described once and reused here. A
+    :class:`repro.variation.spec.LayerMap` resolves per layer using the
+    same ``weighted_layers`` name/index ordering as the injector before
+    each array is programmed.
     """
-    counter = [0]
+    variation = parse_spec(variation)
+    # Snapshot the digital-weighted-layer ordering before conversion: this
+    # is the paper's layer indexing, shared with VariationInjector, that
+    # LayerMap override keys refer to.
+    layer_info = {
+        id(sub): (layer_name, index)
+        for index, (layer_name, sub) in enumerate(weighted_layers(model))
+    }
+    n_layers = len(layer_info)
 
     def _convert(module: Module) -> None:
         for name, child in list(module._modules.items()):
             if getattr(child, "digital", False):
                 continue
             replacement = None
-            layer_seed = None if seed is None else hash((seed, counter[0])) % 2**31
             if isinstance(child, Linear):
                 replacement = AnalogLinear(
                     child, tile_size, mapper, dac, adc, read_noise_sigma,
@@ -176,8 +192,15 @@ def analogize(
                     wire_resistance, input_scale,
                 )
             if replacement is not None:
-                replacement.program(variation, layer_seed)
-                counter[0] += 1
+                layer_name, index = layer_info.get(id(child), (None, None))
+                layer_seed = (
+                    None
+                    if seed is None
+                    else hash((seed, -1 if index is None else index)) % 2**31
+                )
+                replacement.program(
+                    variation.model_for(layer_name, index, n_layers), layer_seed
+                )
                 setattr(module, name, replacement)
                 module._modules[name] = replacement
             else:

@@ -22,6 +22,7 @@ the property tests check with clipping disabled.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
@@ -30,6 +31,17 @@ from repro.hardware.conductance import ConductanceMapper
 from repro.hardware.converters import ADC, DAC
 from repro.utils.rng import new_rng, SeedLike
 from repro.variation.models import NoVariation, VariationModel
+from repro.variation.spec import parse_spec, VariationLike
+
+
+class InputScaleClipWarning(UserWarning):
+    """Raised once per crossbar when the weight-scale full-scale proxy is
+    about to let a *real* ADC clip in-range MAC results (ideal DAC path).
+
+    The no-clip guarantee of ``repro.hardware.converters`` only holds when
+    the caller provides a true input full-scale; see
+    :meth:`Crossbar.calibrate_input_scale`.
+    """
 
 
 class Crossbar:
@@ -106,6 +118,7 @@ class Crossbar:
         self.g_pos = self._g_pos_nominal.copy()
         self.g_neg = self._g_neg_nominal.copy()
         self._read_rng = new_rng(None)
+        self._clip_warned = False
 
     # ------------------------------------------------------------------
     @property
@@ -113,10 +126,19 @@ class Crossbar:
         return self.nominal_weights.shape
 
     def program(
-        self, variation: VariationModel = NoVariation(), seed: SeedLike = None
+        self, variation: "VariationLike" = NoVariation(), seed: SeedLike = None
     ) -> "Crossbar":
         """(Re)program the array: apply ``variation`` to both conductance
-        planes independently, then clip to the physical window."""
+        planes independently, then clip to the physical window.
+
+        ``variation`` is any spec form (model, grammar string like
+        ``"lognormal:0.5+quant:4"``, or spec dict) — the same spec the
+        weight-domain injector and the Monte-Carlo engines consume. A
+        ``LayerMap`` has no layer context on a lone crossbar and applies
+        its default; :func:`repro.hardware.analog_layers.analogize`
+        resolves per-layer overrides before programming each array.
+        """
+        variation = parse_spec(variation)
         rng = new_rng(seed)
         g_pos = variation.perturb(self._g_pos_nominal - self.mapper.g_min, rng)
         g_neg = variation.perturb(self._g_neg_nominal - self.mapper.g_min, rng)
@@ -177,8 +199,36 @@ class Crossbar:
         currents = v @ g_diff.T  # (batch, out)
 
         span = self.mapper.g_max - self.mapper.g_min
-        # Worst-case column current bounds the ADC full scale.
+        # Worst-case column current bounds the ADC full scale — but only
+        # under the assumption |input| <= v_scale, which the DAC enforces
+        # by clipping when it quantizes. An *ideal* DAC passes larger
+        # inputs straight through, so on the default weight-scale proxy a
+        # real ADC can silently clip in-range MAC results; detect the
+        # actual overflow and point at calibrate_input_scale().
         full_scale = v_scale * span * self.shape[1]
+        # The check reads the noise-free MAC currents: a read-noise tail
+        # past full scale is not an input-scale problem and must not
+        # trigger the calibration hint.
+        if (
+            not self._clip_warned
+            and currents.size > 0
+            and self.input_scale is None
+            and self.dac.bits is None
+            and self.adc.bits is not None
+        ):
+            peak = float(np.abs(currents).max())
+            if peak > full_scale:
+                warnings.warn(
+                    f"bitline current reaches {peak:.4g} but the ADC full "
+                    f"scale derived from the default (weight-scale) input "
+                    f"full scale is {full_scale:.4g}; the {self.adc.bits}-"
+                    "bit ADC clips these in-range MACs. Pass input_scale= "
+                    "or run calibrate_input_scale() on representative "
+                    "activations.",
+                    InputScaleClipWarning,
+                    stacklevel=2,
+                )
+                self._clip_warned = True
         if self.read_noise_sigma > 0:
             currents = currents + self._read_rng.normal(
                 0.0, self.read_noise_sigma * full_scale, size=currents.shape

@@ -16,6 +16,7 @@ from repro.hardware.converters import ADC, DAC
 from repro.hardware.crossbar import Crossbar
 from repro.utils.rng import spawn_rngs, SeedLike
 from repro.variation.models import NoVariation, VariationModel
+from repro.variation.spec import parse_spec, VariationLike
 
 
 def tile_ranges(size: int, tile: int) -> List[Tuple[int, int]]:
@@ -78,9 +79,14 @@ class TiledCrossbarArray:
         return len(self.row_ranges) * len(self.col_ranges)
 
     def program(
-        self, variation: VariationModel = NoVariation(), seed: SeedLike = None
+        self, variation: "VariationLike" = NoVariation(), seed: SeedLike = None
     ) -> "TiledCrossbarArray":
-        """Program every tile with independent variation streams."""
+        """Program every tile with independent variation streams.
+
+        ``variation`` is any spec form (model / grammar string / dict);
+        it is parsed once and shared across tiles.
+        """
+        variation = parse_spec(variation)
         rngs = iter(spawn_rngs(seed, self.num_tiles))
         for row in self.tiles:
             for tile in row:

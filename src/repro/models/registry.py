@@ -12,7 +12,7 @@ from repro.utils.rng import SeedLike
 
 
 def available_models() -> List[str]:
-    return ["lenet5", "vgg16", "vgg11", "mlp"]
+    return ["lenet5", "vgg16", "vgg11", "vgg16bn", "vgg11bn", "mlp"]
 
 
 def build_model(
@@ -45,16 +45,17 @@ def build_model(
             width_multiplier=3.0 * width,
             seed=seed,
         )
-    if name in ("vgg16", "vgg11"):
+    if name in ("vgg16", "vgg11", "vgg16bn", "vgg11bn"):
         # The classifier head scales with the class count: 100-way synthetic
         # classification needs a wider penultimate feature than 10-way.
         return VGG(
-            config=name,
+            config=name[:5],
             num_classes=num_classes,
             in_channels=channels,
             input_size=height,
             width=0.125 * width,
             classifier_width=max(int(64 * width), int(1.3 * num_classes)),
+            batch_norm=name.endswith("bn"),
             seed=seed,
         )
     if name == "mlp":

@@ -3,6 +3,17 @@
 Running statistics live in buffers so they serialize with the model and are
 excluded from variation injection (they are digital state, not crossbar
 conductances).
+
+Eval mode is the affine fold ``y = x * (gamma / sqrt(var + eps)) + (beta -
+mean * gamma / sqrt(var + eps))`` against the running statistics — a
+per-channel scale and shift. Because it is elementwise per channel, it is
+also *sample-aware*: a stacked activation from the vectorized Monte-Carlo
+engine ((S, N, C) after a stacked Linear, channel-major (S, C, N, H, W)
+after a stacked Conv2d — see ``docs/ARCHITECTURE.md``) broadcasts against
+the same folded scale/shift with one extra axis. Training mode computes
+batch statistics and only accepts ordinary (N, C) / (N, C, H, W) layouts;
+``repro.evaluation.vectorized.supports_sample_axis`` therefore admits
+batch norm for stacked execution in eval mode only.
 """
 
 from __future__ import annotations
@@ -32,10 +43,15 @@ class _BatchNorm(Module):
     def _shape(self, x: Tensor):
         raise NotImplementedError
 
+    def _eval_shape(self, x: Tensor):
+        """Broadcast shape of the per-channel statistics for ``x``'s
+        layout, including the sample-stacked variants."""
+        raise NotImplementedError
+
     def forward(self, x: Tensor) -> Tensor:
-        axes = self._axes(x)
-        shape = self._shape(x)
         if self.training:
+            axes = self._axes(x)
+            shape = self._shape(x)
             mean = x.mean(axis=axes, keepdims=True)
             var = x.var(axis=axes, keepdims=True)
             m = self.momentum
@@ -47,21 +63,30 @@ class _BatchNorm(Module):
                 "running_var",
                 (1 - m) * self.running_var + m * var.data.reshape(-1),
             )
-        else:
-            mean = Tensor(self.running_mean.reshape(shape))
-            var = Tensor(self.running_var.reshape(shape))
-        inv_std = (var + self.eps) ** -0.5
-        normalized = (x - mean) * inv_std
-        gamma = self.gamma.reshape(shape)
-        beta = self.beta.reshape(shape)
-        return normalized * gamma + beta
+            inv_std = (var + self.eps) ** -0.5
+            normalized = (x - mean) * inv_std
+            gamma = self.gamma.reshape(shape)
+            beta = self.beta.reshape(shape)
+            return normalized * gamma + beta
+        # Eval: fold running stats into one per-channel scale and shift
+        # (computed at feature size C, then broadcast over the activation
+        # once — two broadcast ops instead of four). gamma/beta stay in the
+        # graph, so fine-tuning through an eval-mode norm still works.
+        shape = self._eval_shape(x)
+        inv_std = Tensor((self.running_var + self.eps) ** -0.5)
+        scale = self.gamma * inv_std
+        shift = self.beta - Tensor(self.running_mean) * scale
+        return x * scale.reshape(shape) + shift.reshape(shape)
 
     def extra_repr(self) -> str:
         return f"features={self.num_features}, eps={self.eps}"
 
 
 class BatchNorm1d(_BatchNorm):
-    """Normalise (N, C) activations per feature."""
+    """Normalise (N, C) activations per feature.
+
+    Eval mode also accepts sample-stacked (S, N, C) activations.
+    """
 
     def _axes(self, x: Tensor):
         if x.ndim != 2:
@@ -71,9 +96,22 @@ class BatchNorm1d(_BatchNorm):
     def _shape(self, x: Tensor):
         return (1, self.num_features)
 
+    def _eval_shape(self, x: Tensor):
+        if x.ndim == 2:  # (N, C)
+            return (1, self.num_features)
+        if x.ndim == 3:  # stacked (S, N, C)
+            return (1, 1, self.num_features)
+        raise ValueError(
+            f"BatchNorm1d expects (N, C) or stacked (S, N, C), got shape {x.shape}"
+        )
+
 
 class BatchNorm2d(_BatchNorm):
-    """Normalise (N, C, H, W) activations per channel."""
+    """Normalise (N, C, H, W) activations per channel.
+
+    Eval mode also accepts channel-major sample-stacked (S, C, N, H, W)
+    activations (the vectorized Monte-Carlo layout).
+    """
 
     def _axes(self, x: Tensor):
         if x.ndim != 4:
@@ -82,3 +120,13 @@ class BatchNorm2d(_BatchNorm):
 
     def _shape(self, x: Tensor):
         return (1, self.num_features, 1, 1)
+
+    def _eval_shape(self, x: Tensor):
+        if x.ndim == 4:  # (N, C, H, W)
+            return (1, self.num_features, 1, 1)
+        if x.ndim == 5:  # stacked channel-major (S, C, N, H, W)
+            return (1, self.num_features, 1, 1, 1)
+        raise ValueError(
+            "BatchNorm2d expects (N, C, H, W) or stacked (S, C, N, H, W), "
+            f"got shape {x.shape}"
+        )

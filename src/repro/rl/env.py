@@ -12,7 +12,7 @@ from repro.data.dataset import ArrayDataset
 from repro.evaluation.montecarlo import MonteCarloEvaluator
 from repro.nn.module import Module
 from repro.utils.logging import get_logger
-from repro.variation.models import VariationModel
+from repro.variation.spec import parse_spec, VariationLike
 
 logger = get_logger("rl.env")
 
@@ -51,7 +51,7 @@ class CompensationEnv:
         self,
         base_model: Module,
         candidate_layers: List[int],
-        variation: VariationModel,
+        variation: "VariationLike",
         train_data: ArrayDataset,
         eval_data: ArrayDataset,
         comp_config: CompensationConfig,
@@ -64,7 +64,7 @@ class CompensationEnv:
             raise ValueError(f"overhead limit must be positive, got {overhead_limit}")
         self.base_model = base_model
         self.candidate_layers = list(candidate_layers)
-        self.variation = variation
+        self.variation = parse_spec(variation)
         self.train_data = train_data
         self.eval_data = eval_data
         self.comp_config = comp_config

@@ -19,6 +19,19 @@ from repro.variation.models import (
     VariationModel,
 )
 from repro.variation.nonidealities import ConductanceDrift, LevelQuantization
+from repro.variation.spec import (
+    Compose,
+    LayerMap,
+    VariationLike,
+    from_dict,
+    from_string,
+    parse_spec,
+    register_model,
+    registered_kinds,
+    scale_to,
+    to_dict,
+    to_string,
+)
 from repro.variation.injector import (
     VariationInjector,
     perturbed,
@@ -34,6 +47,17 @@ __all__ = [
     "NoVariation",
     "LevelQuantization",
     "ConductanceDrift",
+    "Compose",
+    "LayerMap",
+    "VariationLike",
+    "parse_spec",
+    "register_model",
+    "registered_kinds",
+    "scale_to",
+    "to_dict",
+    "from_dict",
+    "to_string",
+    "from_string",
     "VariationInjector",
     "perturbed",
     "weighted_layers",

@@ -32,9 +32,14 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.nn.module import Module, Parameter
 from repro.utils.rng import new_rng, spawn_rngs, SeedLike
 from repro.variation.models import VariationModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (spec imports models)
+    from repro.variation.spec import VariationLike
 
 #: Parameter attribute names treated as crossbar-mapped weights. Biases and
 #: batch-norm affine parameters are digital/peripheral state in typical
@@ -60,8 +65,9 @@ def weighted_layers(module: Module) -> List[Tuple[str, Module]]:
 
 def _iter_target_params(
     module: Module, layers: Optional[Sequence[Module]]
-) -> Iterator[Tuple[str, Parameter]]:
-    """Yield (qualified-name, parameter) pairs subject to variation."""
+) -> Iterator[Tuple[str, Parameter, Module]]:
+    """Yield (qualified-name, parameter, owning module) triples subject to
+    variation."""
     if layers is None:
         targets = [m for _, m in weighted_layers(module)]
     else:
@@ -75,7 +81,7 @@ def _iter_target_params(
         for attr in WEIGHT_ATTR_NAMES:
             param = sub._parameters.get(attr)
             if param is not None:
-                yield f"{name_of.get(id(sub), '?')}.{attr}", param
+                yield f"{name_of.get(id(sub), '?')}.{attr}", param, sub
 
 
 class VariationInjector:
@@ -86,7 +92,11 @@ class VariationInjector:
     model:
         Module tree whose weights get perturbed.
     variation:
-        A :class:`VariationModel`.
+        A :class:`VariationModel`, a spec grammar string
+        (``"lognormal:0.5+quant:4"``), or a spec dict — anything
+        :func:`repro.variation.spec.parse_spec` accepts. A
+        :class:`repro.variation.spec.LayerMap` resolves per weighted
+        layer (name and paper layer index) before perturbing.
     layers:
         Optional explicit subset of layer modules to perturb (default: all
         non-digital weighted layers).
@@ -98,29 +108,64 @@ class VariationInjector:
     def __init__(
         self,
         model: Module,
-        variation: VariationModel,
+        variation: "VariationLike",
         layers: Optional[Sequence[Module]] = None,
         protection_masks: Optional[Dict[str, np.ndarray]] = None,
     ) -> None:
+        from repro.variation.spec import parse_spec
+
         self.model = model
-        self.variation = variation
+        self.variation = parse_spec(variation)
         self.layers = layers
         self.protection_masks = protection_masks or {}
+        self._target_cache: Optional[
+            List[Tuple[str, Parameter, VariationModel]]
+        ] = None
+
+    def _targets(self) -> List[Tuple[str, Parameter, VariationModel]]:
+        """(param-name, parameter, resolved model) triples in injection order.
+
+        The per-layer model comes from ``variation.model_for`` with the
+        layer's qualified name and its index in the full
+        :func:`weighted_layers` ordering (the paper's layer indexing) — a
+        plain :class:`VariationModel` resolves to itself, a ``LayerMap``
+        dispatches. Resolution is positionally stable, so the paired-seed
+        contract is untouched: stream consumption per parameter depends
+        only on the resolved model, identically in every engine.
+
+        Computed once per injector: an injector binds to the module tree
+        as constructed (the Monte-Carlo loop calls :meth:`applied` per
+        sample against a fixed model — build a fresh injector after
+        structural surgery like ``CompensationPlan.apply``).
+        """
+        if self._target_cache is None:
+            all_layers = weighted_layers(self.model)
+            index_of = {id(sub): i for i, (_, sub) in enumerate(all_layers)}
+            n_layers = len(all_layers)
+            out = []
+            for name, param, sub in _iter_target_params(self.model, self.layers):
+                layer_name = name.rsplit(".", 1)[0]
+                model = self.variation.model_for(
+                    layer_name, index_of.get(id(sub)), n_layers
+                )
+                out.append((name, param, model))
+            self._target_cache = out
+        return self._target_cache
 
     def target_parameters(self) -> List[Parameter]:
         """The :class:`Parameter` objects subject to variation, in the
         injection order shared by :meth:`sample`, :meth:`sample_batch` and
         :meth:`applied` (callers use this to check e.g. frozen-ness before
         choosing a stacked execution path)."""
-        return [param for _, param in _iter_target_params(self.model, self.layers)]
+        return [param for _, param, _ in self._targets()]
 
     def sample(self, seed: SeedLike = None) -> Dict[str, np.ndarray]:
         """Return ``{param-name: perturbed array}`` without touching the model."""
         rng = new_rng(seed)
         out = {}
-        for name, param in _iter_target_params(self.model, self.layers):
+        for name, param, variation in self._targets():
             nominal = param.data
-            perturbed_data = self.variation.perturb(nominal, rng)
+            perturbed_data = variation.perturb(nominal, rng)
             mask = self.protection_masks.get(name)
             if mask is not None:
                 perturbed_data = np.where(mask, nominal, perturbed_data)
@@ -152,15 +197,15 @@ class VariationInjector:
         ``spawn_rngs`` list) without materializing every sample's weights
         at once, while keeping the per-stream pairing contract.
         """
-        targets = list(_iter_target_params(self.model, self.layers))
+        targets = self._targets()
         stacks: Dict[str, np.ndarray] = {
             name: np.empty((len(rngs),) + param.data.shape)
-            for name, param in targets
+            for name, param, _ in targets
         }
         for i, rng in enumerate(rngs):
-            for name, param in targets:
+            for name, param, variation in targets:
                 nominal = param.data
-                perturbed_data = self.variation.perturb(nominal, rng)
+                perturbed_data = variation.perturb(nominal, rng)
                 mask = self.protection_masks.get(name)
                 if mask is not None:
                     perturbed_data = np.where(mask, nominal, perturbed_data)
@@ -180,7 +225,7 @@ class VariationInjector:
         """
         saved: List[Tuple[Parameter, np.ndarray]] = []
         try:
-            for name, param in _iter_target_params(self.model, self.layers):
+            for name, param, _ in self._targets():
                 stack = stacked.get(name)
                 if stack is None:
                     continue
@@ -202,9 +247,9 @@ class VariationInjector:
         saved: List[Tuple[Parameter, np.ndarray]] = []
         try:
             rng = new_rng(seed)
-            for name, param in _iter_target_params(self.model, self.layers):
+            for name, param, variation in self._targets():
                 nominal = param.data
-                perturbed_data = self.variation.perturb(nominal, rng)
+                perturbed_data = variation.perturb(nominal, rng)
                 mask = self.protection_masks.get(name)
                 if mask is not None:
                     perturbed_data = np.where(mask, nominal, perturbed_data)
@@ -219,7 +264,7 @@ class VariationInjector:
 @contextlib.contextmanager
 def perturbed(
     model: Module,
-    variation: VariationModel,
+    variation: "VariationLike",
     seed: SeedLike = None,
     layers: Optional[Sequence[Module]] = None,
     protection_masks: Optional[Dict[str, np.ndarray]] = None,

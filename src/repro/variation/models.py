@@ -9,11 +9,44 @@ evaluators.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 
+def _canonical(value):
+    """Order-insensitive hashable form of a model's parameter structure.
+
+    Dict keys stringify (an int index and an equal-looking digit-string
+    name may collide in hash — allowed; equality still distinguishes
+    them), containers become tuples/frozensets, nested models recurse.
+    """
+    if isinstance(value, VariationModel):
+        return (type(value).__name__, _canonical(value.__dict__))
+    if isinstance(value, dict):
+        return frozenset((str(k), _canonical(v)) for k, v in value.items())
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    return value
+
+
 class VariationModel:
-    """Base class: ``perturb`` maps nominal weights to deviated weights."""
+    """Base class: ``perturb`` maps nominal weights to deviated weights.
+
+    Every model is also the degenerate case of a *variation spec* (see
+    ``repro.variation.spec``): it composes with other models via ``|``
+    (programming order, left to right), resolves to itself for every layer
+    (:meth:`model_for`), and serializes through the spec registry. Plain
+    models therefore keep working unchanged everywhere a spec is accepted.
+    """
+
+    #: Structural models describe *fixed hardware properties* (e.g. the MLC
+    #: bit-width of ``LevelQuantization``) rather than a stochastic effect
+    #: strength. Magnitude sweeps over a composed spec hold structural
+    #: components fixed — sweeping programming noise must not change the
+    #: hardware it runs on — while a standalone ``scaled`` call still
+    #: rescales them (a resolution sweep is then explicitly requested).
+    structural = False
 
     def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         raise NotImplementedError
@@ -27,6 +60,41 @@ class VariationModel:
     def magnitude(self) -> float:
         """Nominal magnitude parameter (sigma or rate) for reporting."""
         raise NotImplementedError
+
+    # -- spec protocol --------------------------------------------------
+    def model_for(
+        self,
+        layer_name: Optional[str] = None,
+        layer_index: Optional[int] = None,
+        n_layers: Optional[int] = None,
+    ) -> "VariationModel":
+        """The model applying to one layer. Plain models are layer-uniform;
+        ``LayerMap`` overrides this to dispatch per layer."""
+        return self
+
+    def __or__(self, other) -> "VariationModel":
+        """``a | b``: apply ``a`` then ``b`` in programming order — returns
+        a :class:`repro.variation.spec.Compose`. ``other`` may be a model,
+        a spec string or a spec dict."""
+        from repro.variation.spec import Compose, parse_spec
+
+        return Compose([self, parse_spec(other)])
+
+    def __ror__(self, other) -> "VariationModel":
+        from repro.variation.spec import Compose, parse_spec
+
+        return Compose([parse_spec(other), self])
+
+    def __eq__(self, other) -> bool:
+        """Structural equality: same class, same parameters. This is what
+        makes serialization round-trips (`to_dict`/`from_dict`) and config
+        equality checks meaningful."""
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        # Canonicalized so equal specs hash equal regardless of dict
+        # insertion order (LayerMap overrides, nested models).
+        return hash((type(self).__name__, _canonical(self.__dict__)))
 
 
 class NoVariation(VariationModel):

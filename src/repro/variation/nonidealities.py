@@ -11,6 +11,12 @@ deployment faces and that plug into the same ``VariationModel`` interface
   relaxes over time as ``G(t) = G(t0) * (t/t0)^(-nu)`` (the standard
   power-law drift of filamentary RRAM/PCM), with a log-normally distributed
   per-cell drift exponent.
+
+Both register in the spec grammar (``repro.variation.spec``) as ``quant``
+and ``drift``, so the usual deployment stack reads
+``"lognormal:0.5+quant:4+drift:1e5"`` — programming noise, then MLC
+resolution, then retention — applied in that programming order by
+``Compose``.
 """
 
 from __future__ import annotations
@@ -30,6 +36,10 @@ class LevelQuantization(VariationModel):
     programmed in practice.
     """
 
+    #: Bit-width is a hardware property: composed-spec sweeps hold it fixed
+    #: (see ``VariationModel.structural``).
+    structural = True
+
     def __init__(self, bits: int) -> None:
         if bits < 1:
             raise ValueError(f"bits must be >= 1, got {bits}")
@@ -44,8 +54,14 @@ class LevelQuantization(VariationModel):
         return np.clip(np.round(weights / step) * step, -scale, scale)
 
     def scaled(self, factor: float) -> "LevelQuantization":
-        # Scaling maps to a resolution change; keep at least 1 bit.
-        return LevelQuantization(max(1, int(round(self.bits / max(factor, 1e-9)))))
+        # Scaling maps to a resolution change: pick the bit-width whose
+        # magnitude (relative LSB, 1/(2^bits - 1)) is nearest to
+        # ``factor * magnitude`` — magnitude is exponential in bits, so
+        # dividing the bit count itself would overshoot wildly. At least
+        # 1 bit.
+        target = self.magnitude * max(factor, 1e-12)
+        bits = int(round(np.log2(1.0 / target + 1.0)))
+        return LevelQuantization(max(1, bits))
 
     @property
     def magnitude(self) -> float:

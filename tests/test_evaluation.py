@@ -248,14 +248,13 @@ class TestVectorizedEngine:
         assert result.accuracies == [clean] * 4
 
     def test_unsupported_model_falls_back_to_loop(self, blob_dataset):
-        """A model without sample-aware kernels (batch norm) silently uses
-        the reference loop under vectorized=True."""
+        """A model without sample-aware kernels (here: a batch-axis
+        softmax) silently uses the reference loop under vectorized=True."""
         import repro.nn as nn
         from repro.evaluation import supports_sample_axis
-        from repro.nn.batchnorm import BatchNorm1d
         model = nn.Sequential(nn.Flatten(), nn.Linear(4, 8, seed=0),
-                              BatchNorm1d(8), nn.ReLU(),
-                              nn.Linear(8, 3, seed=1))
+                              nn.ReLU(), nn.Linear(8, 3, seed=1),
+                              nn.Softmax(axis=1))
         model.eval()
         assert not supports_sample_axis(model)
         loop = MonteCarloEvaluator(blob_dataset, n_samples=3, seed=2,
@@ -266,10 +265,66 @@ class TestVectorizedEngine:
         r_vec = vec.evaluate(model, LogNormalVariation(0.3))
         assert r_vec.accuracies == r_loop.accuracies
 
+    def test_batchnorm_model_rides_vectorized_in_eval(self, blob_dataset):
+        """Eval-mode batch norm is an affine fold with sample-aware
+        broadcasting, so BN models now qualify for the vectorized engine —
+        and stay bitwise-paired with the reference loop. In training mode
+        the batch statistics are not stacked-safe, so support is off."""
+        import repro.nn as nn
+        from repro.evaluation import supports_sample_axis
+        from repro.nn.batchnorm import BatchNorm1d
+        model = nn.Sequential(nn.Flatten(), nn.Linear(4, 8, seed=0),
+                              BatchNorm1d(8), nn.ReLU(),
+                              nn.Linear(8, 3, seed=1))
+        # Non-trivial running stats so the fold actually does something.
+        bn = model[2]
+        rng = np.random.default_rng(0)
+        bn.set_buffer("running_mean", rng.normal(size=8))
+        bn.set_buffer("running_var", 0.5 + rng.random(8))
+        model.train()
+        assert not supports_sample_axis(model)
+        model.eval()
+        assert supports_sample_axis(model)
+        loop = MonteCarloEvaluator(blob_dataset, n_samples=4, seed=2,
+                                   vectorized=False)
+        vec = MonteCarloEvaluator(blob_dataset, n_samples=4, seed=2,
+                                  vectorized=True)
+        r_loop = loop.evaluate(model, LogNormalVariation(0.4))
+        r_vec = vec.evaluate(model, LogNormalVariation(0.4))
+        assert r_vec.accuracies == r_loop.accuracies
+
     def test_supports_sample_axis_whitelist(self, mlp, lenet):
         from repro.evaluation import supports_sample_axis
         assert supports_sample_axis(mlp)
         assert supports_sample_axis(lenet)
+
+    def test_vgg_batchnorm_rides_vectorized(self, tiny_test):
+        """The VGG batch_norm path (BatchNorm2d, channel-major stacked
+        (S, C, N, H, W) activations) is vectorized-eligible in eval mode
+        and stays bitwise-paired with the reference loop."""
+        from repro.evaluation import supports_sample_axis
+        from repro.models import VGG
+        model = VGG(config=[4, "M", 8], num_classes=10, in_channels=1,
+                    input_size=16, width=1.0, classifier_width=16,
+                    batch_norm=True, seed=0)
+        from repro.nn.batchnorm import BatchNorm2d
+        bns = [m for m in model.modules() if isinstance(m, BatchNorm2d)]
+        assert bns, "batch_norm=True must insert BatchNorm2d layers"
+        rng = np.random.default_rng(3)
+        for bn in bns:
+            bn.set_buffer("running_mean", rng.normal(size=bn.num_features))
+            bn.set_buffer("running_var", 0.5 + rng.random(bn.num_features))
+        model.eval()
+        assert supports_sample_axis(model)
+        loop = MonteCarloEvaluator(tiny_test, n_samples=3, seed=6,
+                                   vectorized=False)
+        vec = MonteCarloEvaluator(tiny_test, n_samples=3, seed=6,
+                                  vectorized=True, sample_chunk=2)
+        from repro.variation import LevelQuantization
+        spec = LogNormalVariation(0.5) | LevelQuantization(4)
+        r_loop = loop.evaluate(model, spec)
+        r_vec = vec.evaluate(model, spec)
+        assert r_vec.accuracies == r_loop.accuracies
 
 
 class TestProcessPoolEngine:

@@ -1,9 +1,13 @@
 """Crossbar MVM: ideal exactness, converters, noise, programming variation."""
 
+import contextlib
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.hardware import ADC, DAC, Crossbar
+from repro.hardware.crossbar import InputScaleClipWarning
 from repro.variation import LogNormalVariation, StuckAtFaults
 
 
@@ -196,3 +200,68 @@ class TestInputScale:
         arr = TiledCrossbarArray(weights, tile_rows=4, tile_cols=5, dac=DAC(8))
         arr.calibrate_input_scale(np.ones(3) * 2.5)
         assert all(t.input_scale == 2.5 for row in arr.tiles for t in row)
+
+
+class TestClipWarning:
+    """Regression (ROADMAP, PR 2 review): with an ideal DAC and a real ADC
+    on the default weight-scale full-scale proxy, activations beyond the
+    weight scale can silently clip in-range MACs — the crossbar must say
+    so, once, and calibration must silence it."""
+
+    def _big_inputs(self, xbar):
+        # Same-signed large inputs drive worst-case column currents well
+        # beyond the weight-scale-derived ADC full scale.
+        return np.full((3, 12), 40.0 * xbar._scale)
+
+    def test_ideal_dac_real_adc_overflow_warns_once(self, weights):
+        xbar = Crossbar(weights, dac=DAC(None), adc=ADC(8))
+        x = self._big_inputs(xbar)
+        with pytest.warns(InputScaleClipWarning, match="calibrate_input_scale"):
+            xbar.mvm(x)
+        with warnings_none():
+            xbar.mvm(x)  # warned once already
+
+    def test_calibrated_scale_does_not_warn(self, weights):
+        xbar = Crossbar(weights, dac=DAC(None), adc=ADC(8))
+        x = self._big_inputs(xbar)
+        xbar.calibrate_input_scale(x)
+        with warnings_none():
+            xbar.mvm(x)
+
+    def test_explicit_input_scale_does_not_warn(self, weights):
+        xbar = Crossbar(weights, dac=DAC(None), adc=ADC(8), input_scale=100.0)
+        with warnings_none():
+            xbar.mvm(self._big_inputs(xbar))
+
+    def test_in_range_activations_do_not_warn(self, weights):
+        xbar = Crossbar(weights, dac=DAC(None), adc=ADC(8))
+        x = np.random.default_rng(12).uniform(-1, 1, size=(3, 12)) * xbar._scale
+        with warnings_none():
+            xbar.mvm(x)
+
+    def test_ideal_adc_never_warns(self, weights):
+        xbar = Crossbar(weights)  # ideal DAC and ADC: nothing clips
+        with warnings_none():
+            xbar.mvm(self._big_inputs(xbar))
+
+    def test_empty_batch_survives_clip_check(self, weights):
+        xbar = Crossbar(weights, dac=DAC(None), adc=ADC(8))
+        out = xbar.mvm(np.zeros((0, 12)))
+        assert out.shape == (0, 8)
+
+    def test_read_noise_tail_does_not_warn(self, weights):
+        """The check reads noise-free MAC currents: read-noise excursions
+        past full scale are not an input-scale problem."""
+        xbar = Crossbar(weights, dac=DAC(None), adc=ADC(8),
+                        read_noise_sigma=5.0)
+        x = np.random.default_rng(13).uniform(-1, 1, size=(50, 12)) * xbar._scale
+        with warnings_none():
+            xbar.mvm(x)
+
+
+@contextlib.contextmanager
+def warnings_none():
+    """Context manager asserting no InputScaleClipWarning is emitted."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", InputScaleClipWarning)
+        yield
