@@ -11,6 +11,10 @@ Variation scenarios are named on the command line through the spec grammar
 composes the paper's log-normal model with 4-bit level quantization;
 ``--variation "lognormal:0.5;@0=none"`` protects the first weighted layer.
 ``--sigma`` remains the shorthand for the paper's single log-normal model.
+``correctnet-eval --analog`` deploys the checkpoint onto the crossbar
+simulator first (optionally with ``--dac-bits/--adc-bits/--read-noise``),
+so the same scenarios evaluate through the full analog chain — on any
+engine, seed-paired.
 """
 
 from __future__ import annotations
@@ -131,13 +135,66 @@ def eval_main(argv: Optional[List[str]] = None) -> int:
         help="process-pool size for --engine pool (and the fallback when a "
         "model lacks vectorized kernels)",
     )
+    parser.add_argument(
+        "--analog", action="store_true",
+        help="deploy the checkpoint onto simulated RRAM crossbars "
+        "(repro.hardware.analogize) before evaluating; --variation then "
+        "applies at programming time, in the conductance domain, and all "
+        "engines run the full DAC/MAC/read-noise/ADC chain (seed-paired)",
+    )
+    parser.add_argument(
+        "--dac-bits", type=int, default=None,
+        help="analog input DAC resolution (default: ideal converter)",
+    )
+    parser.add_argument(
+        "--adc-bits", type=int, default=None,
+        help="analog output ADC resolution (default: ideal converter)",
+    )
+    parser.add_argument(
+        "--read-noise", type=float, default=0.0,
+        help="relative sigma of per-read cycle noise on bitline currents",
+    )
+    parser.add_argument(
+        "--tile-size", type=int, default=128,
+        help="physical crossbar tile size for --analog",
+    )
     args = parser.parse_args(argv)
     if args.verbose:
         set_verbosity()
+    if not args.analog:
+        ignored = [
+            flag
+            for flag, given in [
+                ("--dac-bits", args.dac_bits is not None),
+                ("--adc-bits", args.adc_bits is not None),
+                ("--read-noise", args.read_noise != 0.0),
+                ("--tile-size", args.tile_size != 128),
+            ]
+            if given
+        ]
+        if ignored:
+            parser.error(
+                f"{', '.join(ignored)} only take effect with --analog "
+                "(without it the evaluation is purely weight-domain)"
+            )
 
     train, test = _load_data(args.dataset)
     model = build_model(args.model, train, seed=args.seed)
     model.load(args.checkpoint)
+    if args.analog:
+        from repro.hardware import ADC, DAC, analog_layers, analogize
+
+        analogize(
+            model,
+            tile_size=args.tile_size,
+            dac=DAC(args.dac_bits),
+            adc=ADC(args.adc_bits),
+            read_noise_sigma=args.read_noise,
+        )
+        # The clean-accuracy read below consumes read noise; seed it so the
+        # printout is deterministic (the evaluator reseeds per draw anyway).
+        for i, (_, layer) in enumerate(analog_layers(model)):
+            layer.seed_read_noise(args.seed + i)
     clean = accuracy(model, test)
     n_workers = 0 if args.engine == "loop" else args.workers
     if args.engine == "pool" and n_workers == 0:

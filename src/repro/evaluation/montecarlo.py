@@ -40,6 +40,31 @@ grammar string (``"lognormal:0.5+quant:4"``), or a spec dict (see
 ``repro.variation.spec``). Composed and per-layer specs ride all three
 engines with the same paired-seed guarantee, because composition happens
 inside ``VariationModel.perturb`` on the same per-sample streams.
+
+**Analog (crossbar-simulated) models.** For models deployed with
+``repro.hardware.analogize`` the weight-domain injector has nothing to
+perturb: variation applies at *programming time*, in the conductance
+domain, and read-cycle noise at every MVM. The evaluator detects analog
+layers and runs the same three engines through the crossbar simulator:
+
+- per draw ``i`` the loop reprograms every analog layer from spawned
+  stream ``i`` — for each layer in traversal order it consumes one draw
+  for tile-programming spawn and one for read-noise spawn — then runs a
+  full forward sweep;
+- the vectorized engine programs the same draws as **stacked conductance
+  planes** (``TiledCrossbarArray.program_batch``) with per-sample
+  read-noise streams, and evaluates every sample per data batch in one
+  broadcast pass through the analog chain;
+- the pool fans the per-draw loop out over workers.
+
+Per-stream seed consumption is identical in all three, and the analog
+engines share one data blocking (``data_block``) because read-noise
+streams advance with each MVM call — so engine choice stays a pure
+performance knob, bitwise. The programmed state present before
+``evaluate`` (the "deployed chip") is restored afterwards. ``layers`` /
+``protection_masks`` are weight-domain controls and are rejected for
+analog models — express per-layer analog scenarios with a ``LayerMap``
+spec instead.
 """
 
 from __future__ import annotations
@@ -53,6 +78,11 @@ import numpy as np
 from repro.data.dataset import ArrayDataset
 from repro.evaluation.metrics import accuracy
 from repro.evaluation.vectorized import stacked_accuracies, supports_sample_axis
+from repro.hardware.analog_layers import (
+    analog_layers,
+    has_read_noise,
+    preserved_programming,
+)
 from repro.nn.module import Module
 from repro.utils.rng import spawn_rngs, SeedLike
 from repro.variation.injector import VariationInjector
@@ -106,17 +136,64 @@ class MCResult:
 _POOL_STATE: Dict[str, object] = {}
 
 
+def _resolve_analog_specs(model, variation) -> List[tuple]:
+    """``(layer, per-layer model, seeds_read_noise)`` triples for every
+    analog layer of ``model``, in traversal order.
+
+    Per-layer resolution mirrors ``analogize``: the layer's qualified name
+    and its position among the analog layers (the weighted-layer index of
+    the pre-conversion model when the whole model was converted) feed
+    ``variation.model_for``, so ``LayerMap`` scenarios target the same
+    layers in the analog and weight-domain protocols.
+
+    ``seeds_read_noise`` marks layers whose arrays actually model read
+    noise: seeding streams on a noiseless array is dead work (a
+    ``SeedSequence`` spawn per tile per draw), so the engines skip it —
+    consistently, keeping per-stream consumption identical everywhere.
+    """
+    layers = analog_layers(model)
+    return [
+        (
+            layer,
+            variation.model_for(name, index, len(layers)),
+            layer.models_read_noise,
+        )
+        for index, (name, layer) in enumerate(layers)
+    ]
+
+
+def _program_analog_draw(resolved, rng) -> None:
+    """Program one Monte-Carlo draw onto every analog layer.
+
+    ``rng`` is the draw's spawned stream; each layer consumes exactly one
+    63-bit value for its tile-programming spawn and (when its array models
+    read noise) one for its read-noise spawn, in traversal order.
+    ``program_batch``/``seed_read_noise_batch`` consume per-sample streams
+    identically, which is the whole analog paired-seed contract.
+    """
+    for layer, spec, seeds_read in resolved:
+        layer.program(spec, rng)
+        if seeds_read:
+            layer.seed_read_noise(rng)
+
+
 def _pool_init(model, variation, layers, masks, dataset, batch_size) -> None:
     """Executor initializer: build this worker's injector and eval context.
 
     The model, layer subset and masks travel in one pickle so object
     identity between ``layers`` entries and modules inside ``model``
-    survives the round-trip.
+    survives the round-trip. Analog models resolve their per-layer specs
+    here, against this worker's copy of the module tree.
     """
     _POOL_STATE["model"] = model
-    _POOL_STATE["injector"] = VariationInjector(model, variation, layers, masks)
     _POOL_STATE["dataset"] = dataset
     _POOL_STATE["batch_size"] = batch_size
+    if analog_layers(model):
+        _POOL_STATE["analog"] = _resolve_analog_specs(model, variation)
+        _POOL_STATE["injector"] = None
+    else:
+        _POOL_STATE["analog"] = None
+        _POOL_STATE["injector"] = VariationInjector(model, variation, layers, masks)
 
 
 def _pool_worker(rngs) -> List[float]:
@@ -126,10 +203,15 @@ def _pool_worker(rngs) -> List[float]:
     :data:`_POOL_STATE` since :func:`_pool_init`.
     """
     model = _POOL_STATE["model"]
-    injector = _POOL_STATE["injector"]
     dataset = _POOL_STATE["dataset"]
     batch_size = _POOL_STATE["batch_size"]
     accs = []
+    if _POOL_STATE["analog"] is not None:
+        for rng in rngs:
+            _program_analog_draw(_POOL_STATE["analog"], rng)
+            accs.append(accuracy(model, dataset, batch_size))
+        return accs
+    injector = _POOL_STATE["injector"]
     for rng in rngs:
         with injector.applied(rng):
             accs.append(accuracy(model, dataset, batch_size))
@@ -220,6 +302,10 @@ class MonteCarloEvaluator:
         was_training = model.training
         model.eval()
         try:
+            if analog_layers(model):
+                return self._evaluate_analog(
+                    model, variation, layers, protection_masks
+                )
             if isinstance(variation, NoVariation) or variation.magnitude == 0.0:
                 acc = accuracy(model, self.dataset, self.batch_size)
                 return MCResult([acc])
@@ -281,6 +367,7 @@ class MonteCarloEvaluator:
         variation: VariationModel,
         layers: Optional[Sequence[Module]],
         protection_masks: Optional[Dict[str, np.ndarray]],
+        batch_size: Optional[int] = None,
     ) -> MCResult:
         """Reference loop fanned out over worker processes, order-preserving."""
         rngs = spawn_rngs(self.seed, self.n_samples)
@@ -299,11 +386,89 @@ class MonteCarloEvaluator:
                 None if layers is None else list(layers),
                 protection_masks,
                 self.dataset,
-                self.batch_size,
+                self.batch_size if batch_size is None else batch_size,
             ),
         ) as pool:
             parts = list(pool.map(_pool_worker, chunks))
         return MCResult([acc for part in parts for acc in part])
+
+    # ------------------------------------------------------------------
+    # Analog (crossbar-simulated) engines — see module docstring
+    # ------------------------------------------------------------------
+    def _evaluate_analog(
+        self,
+        model: Module,
+        variation: VariationModel,
+        layers: Optional[Sequence[Module]],
+        protection_masks: Optional[Dict[str, np.ndarray]],
+    ) -> MCResult:
+        """Dispatch an analogized model to the analog engine variants.
+
+        All analog engines run the dataset in ``data_block``-sized batches:
+        read-noise streams advance once per MVM call, so the engines must
+        present identical data batches to stay seed-paired — one blocking
+        for all of them makes that structural rather than coincidental.
+        """
+        if layers is not None or protection_masks:
+            raise ValueError(
+                "layers/protection_masks are weight-domain controls; an "
+                "analogized model applies variation at crossbar programming "
+                "time — express per-layer analog scenarios with a LayerMap "
+                "spec instead"
+            )
+        no_programming_variation = (
+            isinstance(variation, NoVariation) or variation.magnitude == 0.0
+        )
+        if no_programming_variation and not has_read_noise(model):
+            # Fully deterministic chip: a single evaluation of the state
+            # programmed at deployment, matching the weight-domain
+            # short-circuit. (With read noise every draw differs, so the
+            # full Monte-Carlo protocol below applies.)
+            return MCResult([accuracy(model, self.dataset, self.batch_size)])
+        resolved = _resolve_analog_specs(model, variation)
+        if self.vectorized and supports_sample_axis(model):
+            return self._evaluate_analog_vectorized(model, resolved)
+        if self.n_workers > 1:
+            return self._evaluate_pool(
+                model, variation, None, None, batch_size=self.data_block
+            )
+        return self._evaluate_analog_loop(model, resolved)
+
+    def _evaluate_analog_loop(self, model: Module, resolved) -> MCResult:
+        """Reference analog engine: reprogram + full forward sweep per draw."""
+        result = MCResult()
+        with preserved_programming(model):
+            for rng in spawn_rngs(self.seed, self.n_samples):
+                _program_analog_draw(resolved, rng)
+                result.accuracies.append(
+                    accuracy(model, self.dataset, self.data_block)
+                )
+        return result
+
+    def _evaluate_analog_vectorized(self, model: Module, resolved) -> MCResult:
+        """All samples per data batch via stacked conductance planes.
+
+        Chunk by chunk: every analog layer programs the chunk's draws as
+        stacked planes and installs per-sample read-noise streams, then one
+        stacked forward sweep evaluates the whole chunk. Per-stream seed
+        consumption matches the loop exactly — each ``program_batch`` /
+        ``seed_read_noise_batch`` call takes one draw per stream, in the
+        same layer order the loop interleaves per draw.
+        """
+        rngs = spawn_rngs(self.seed, self.n_samples)
+        result = MCResult()
+        with preserved_programming(model):
+            for start in range(0, self.n_samples, self.sample_chunk):
+                chunk = rngs[start : min(start + self.sample_chunk, self.n_samples)]
+                for layer, spec, seeds_read in resolved:
+                    layer.program_batch(spec, chunk)
+                    if seeds_read:
+                        layer.seed_read_noise_batch(chunk)
+                accs = stacked_accuracies(
+                    model, self.dataset, len(chunk), self.data_block
+                )
+                result.accuracies.extend(float(a) for a in accs)
+        return result
 
     # ------------------------------------------------------------------
     def sweep_sigma(

@@ -28,11 +28,18 @@ vectorized engine; the stacked-training path of
 ``repro.core.training.Trainer`` sees ``training=True`` and correctly
 falls back to the sequential loop.
 
-Anything else — analog layers, mode-sensitive custom modules — makes the
-evaluator fall back to the reference loop or the process pool. The
-``sample_aware`` attribute is a *promise* that the module's forward is
-covered by stacked kernel tests; see ``docs/ARCHITECTURE.md`` for the
-layout conventions a sample-aware forward must preserve.
+The analog crossbar layers (``AnalogLinear`` / ``AnalogConv2d``) are
+sample-aware leaves too: their forwards broadcast the whole DAC → MAC →
+read-noise → ADC chain over stacked activations and stacked-programmed
+conductance planes (``TiledCrossbarArray.program_batch``), so analogized
+models ride the vectorized Monte-Carlo engine through its analog variant
+(see ``repro.evaluation.montecarlo``).
+
+Anything else — mode-sensitive custom modules — makes the evaluator fall
+back to the reference loop or the process pool. The ``sample_aware``
+attribute is a *promise* that the module's forward is covered by stacked
+kernel tests; see ``docs/ARCHITECTURE.md`` for the layout conventions a
+sample-aware forward must preserve.
 """
 
 from __future__ import annotations

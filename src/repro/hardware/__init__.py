@@ -26,7 +26,14 @@ from repro.hardware.conductance import ConductanceMapper
 from repro.hardware.converters import ADC, DAC
 from repro.hardware.crossbar import Crossbar
 from repro.hardware.tiling import TiledCrossbarArray, tile_ranges
-from repro.hardware.analog_layers import AnalogConv2d, AnalogLinear, analogize
+from repro.hardware.analog_layers import (
+    analog_layers,
+    analogize,
+    AnalogConv2d,
+    AnalogLinear,
+    has_read_noise,
+    preserved_programming,
+)
 from repro.hardware.cost import CrossbarCostModel, CostReport
 
 __all__ = [
@@ -39,6 +46,9 @@ __all__ = [
     "AnalogLinear",
     "AnalogConv2d",
     "analogize",
+    "analog_layers",
+    "has_read_noise",
+    "preserved_programming",
     "CrossbarCostModel",
     "CostReport",
 ]

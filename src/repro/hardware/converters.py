@@ -1,8 +1,26 @@
 """Input DAC and output ADC models.
 
-Both are uniform mid-rise quantizers over a symmetric range. ``bits=None``
-models an ideal converter (pass-through) — the configuration under which
-the crossbar reduces exactly to the paper's weight-domain variation model.
+Both are uniform quantizers over a symmetric range ``[-fs, +fs]``.
+``bits=None`` models an ideal converter (pass-through) — the configuration
+under which the crossbar reduces exactly to the paper's weight-domain
+variation model.
+
+Level placement (regression-pinned in ``tests/test_hardware_converters``):
+
+- ``bits >= 2``: symmetric mid-tread. Reconstruction levels sit at
+  ``k * step`` for ``k in [-M, M]`` with ``M = 2**(bits-1) - 1`` and
+  ``step = full_scale / M``. Zero is exactly representable (an all-zero
+  input stays exactly zero through the whole crossbar chain) and the
+  extreme levels land exactly on ``±full_scale``; one of the ``2**bits``
+  binary codes goes unused — the standard symmetric signed-quantizer
+  trade, as in int8 ``[-127, 127]`` inference quantization. The previous
+  ``round(x / step)`` form with ``step = 2 fs / (levels - 1)`` placed no
+  level on ``±full_scale`` and let banker's rounding overshoot the range
+  by up to a third of full scale at the boundaries.
+- ``bits == 1``: mid-rise. A single comparator has no zero level; it
+  resolves input sign and drives ``±full_scale/2``. (Under the mid-tread
+  formula 1 bit degenerated completely: the step spanned the whole range
+  and banker's rounding collapsed *every* in-range input to 0.)
 """
 
 from __future__ import annotations
@@ -26,9 +44,16 @@ class _UniformQuantizer:
         """Quantize ``values`` assuming range [-full_scale, +full_scale]."""
         if self.bits is None or full_scale <= 0:
             return values
-        step = 2.0 * full_scale / (self.levels - 1)
         clipped = np.clip(values, -full_scale, full_scale)
-        return np.round(clipped / step) * step
+        if self.bits == 1:
+            # Mid-rise sign converter (see module docstring).
+            half = 0.5 * full_scale
+            return np.where(clipped < 0, -half, half)
+        m = 2 ** (self.bits - 1) - 1
+        step = full_scale / m
+        # The clip bounds the code index against float round-off at the
+        # exact boundaries; in-range values already round to [-m, m].
+        return np.clip(np.round(clipped / step), -m, m) * step
 
 
 class DAC(_UniformQuantizer):

@@ -23,7 +23,7 @@ the property tests check with clipping disabled.
 from __future__ import annotations
 
 import warnings
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -118,12 +118,37 @@ class Crossbar:
         self.g_pos = self._g_pos_nominal.copy()
         self.g_neg = self._g_neg_nominal.copy()
         self._read_rng = new_rng(None)
+        self._read_rngs: Optional[List[np.random.Generator]] = None
+        self._g_diff_cache: Optional[np.ndarray] = None
         self._clip_warned = False
 
     # ------------------------------------------------------------------
     @property
     def shape(self) -> tuple:
         return self.nominal_weights.shape
+
+    @property
+    def n_stacked(self) -> Optional[int]:
+        """Number of stacked programming samples, or ``None`` when the
+        array holds a single programmed state (see :meth:`program_batch`)."""
+        return None if self.g_pos.ndim == 2 else self.g_pos.shape[0]
+
+    def _programmed_planes(
+        self, variation: VariationModel, rng: np.random.Generator
+    ) -> tuple:
+        """One programming draw: perturb both planes on ``rng``, clip.
+
+        Shared by :meth:`program` and :meth:`program_batch` so a stacked
+        sample is bitwise equal to the scalar programming it pairs with.
+        """
+        g_pos = variation.perturb(self._g_pos_nominal - self.mapper.g_min, rng)
+        g_neg = variation.perturb(self._g_neg_nominal - self.mapper.g_min, rng)
+        g_pos = g_pos + self.mapper.g_min
+        g_neg = g_neg + self.mapper.g_min
+        if self.clip_conductance:
+            g_pos = self.mapper.clip(g_pos)
+            g_neg = self.mapper.clip(g_neg)
+        return g_pos, g_neg
 
     def program(
         self, variation: "VariationLike" = NoVariation(), seed: SeedLike = None
@@ -139,23 +164,73 @@ class Crossbar:
         resolves per-layer overrides before programming each array.
         """
         variation = parse_spec(variation)
-        rng = new_rng(seed)
-        g_pos = variation.perturb(self._g_pos_nominal - self.mapper.g_min, rng)
-        g_neg = variation.perturb(self._g_neg_nominal - self.mapper.g_min, rng)
-        g_pos = g_pos + self.mapper.g_min
-        g_neg = g_neg + self.mapper.g_min
-        if self.clip_conductance:
-            g_pos = self.mapper.clip(g_pos)
-            g_neg = self.mapper.clip(g_neg)
-        self.g_pos, self.g_neg = g_pos, g_neg
+        self.g_pos, self.g_neg = self._programmed_planes(variation, new_rng(seed))
+        self._g_diff_cache = None
+        # Back to single-state operation: stale per-sample noise streams
+        # must not be consumed by a later stacked-input mvm.
+        self._read_rngs = None
         return self
 
-    def effective_weights(self) -> np.ndarray:
-        """Decode the currently programmed conductances back to weights."""
-        return self.mapper.decode(self.g_pos, self.g_neg, self._scale)
+    def program_batch(
+        self, variation: "VariationLike", seeds: Sequence[SeedLike]
+    ) -> "Crossbar":
+        """Program ``len(seeds)`` independent draws as stacked planes.
+
+        After this call ``g_pos``/``g_neg`` are ``(S, out, in)`` stacks and
+        :meth:`mvm` broadcasts the analog chain over the leading sample
+        axis. Draw ``i`` consumes ``seeds[i]`` exactly as a scalar
+        :meth:`program` call would, so plane ``i`` is bitwise equal to the
+        state the sequential Monte-Carlo loop installs for the same seed —
+        the analog half of the paired-seed contract (see
+        ``repro.evaluation.montecarlo``). A later scalar :meth:`program`
+        returns the array to single-state operation.
+        """
+        variation = parse_spec(variation)
+        seeds = list(seeds)
+        if not seeds:
+            raise ValueError("program_batch needs at least one seed")
+        g_pos = np.empty((len(seeds),) + self.shape)
+        g_neg = np.empty((len(seeds),) + self.shape)
+        for i, seed in enumerate(seeds):
+            g_pos[i], g_neg[i] = self._programmed_planes(variation, new_rng(seed))
+        self.g_pos, self.g_neg = g_pos, g_neg
+        self._g_diff_cache = None
+        return self
+
+    def effective_weights(self, include_ir_drop: bool = True) -> np.ndarray:
+        """Decode the currently programmed conductances back to weights.
+
+        With ``wire_resistance > 0`` the decode folds in the same IR-drop
+        attenuation :meth:`mvm` applies to the MAC, so the returned matrix
+        is what the array actually computes with (previously the two
+        disagreed — tiled stitching, baselines and tests read weights the
+        hardware never used). Pass ``include_ir_drop=False`` for the raw
+        conductance decode — the exact encode/decode round-trip the
+        conductance property tests pin down. Returns ``(S, out, in)``
+        after :meth:`program_batch`.
+        """
+        g_pos, g_neg = self.g_pos, self.g_neg
+        if include_ir_drop and self.wire_resistance > 0.0:
+            attenuation = self._ir_drop_attenuation()
+            g_pos = g_pos * attenuation
+            g_neg = g_neg * attenuation
+        return self.mapper.decode(g_pos, g_neg, self._scale)
 
     def seed_read_noise(self, seed: SeedLike) -> None:
+        """Seed the cycle-to-cycle read-noise stream (single-state mode)."""
         self._read_rng = new_rng(seed)
+        self._read_rngs = None
+
+    def seed_read_noise_batch(self, seeds: Sequence[SeedLike]) -> None:
+        """Install one read-noise stream per stacked sample.
+
+        Stream ``i`` is consumed by sample ``i`` of every stacked
+        :meth:`mvm` call, one ``(batch, out)`` draw per call — the same
+        shape and order the scalar path consumes from its single stream,
+        which is what keeps the vectorized Monte-Carlo engine bitwise
+        paired with the loop when the per-sample seeds match.
+        """
+        self._read_rngs = [new_rng(seed) for seed in seeds]
 
     def calibrate_input_scale(self, samples: np.ndarray) -> float:
         """Fix the DAC full-scale to ``max|samples|`` (input domain).
@@ -180,23 +255,56 @@ class Crossbar:
         The DAC/ADC full scales come from ``input_scale`` (a fixed,
         per-call-independent quantity), so each row's result is identical
         whether it is presented alone or inside a larger batch — including
-        the all-zero input, which maps to exactly zero current.
+        the all-zero input, which maps to exactly zero current (for
+        multi-bit converters; a 1-bit DAC has no zero level).
+
+        **Sample-stacked operation** (the vectorized Monte-Carlo engine):
+        after :meth:`program_batch` the conductance planes carry a leading
+        sample axis, and/or ``x`` may be a stacked ``(S, batch, in)``
+        activation block. The whole DAC → MAC → read-noise → ADC chain
+        broadcasts over the sample axis and the result is
+        ``(S, batch, out)``; slice ``i`` is bitwise what the scalar chain
+        computes for programming sample ``i`` (one dgemm per slice, the
+        per-sample read-noise streams of :meth:`seed_read_noise_batch`).
         """
         x = np.asarray(x, dtype=np.float64)
         squeeze = x.ndim == 1
         if squeeze:
             x = x[None]
-        if x.shape[1] != self.shape[1]:
+        if x.ndim not in (2, 3):
+            raise ValueError(f"mvm input must be 1-D, 2-D or 3-D, got {x.shape}")
+        if x.shape[-1] != self.shape[1]:
             raise ValueError(
-                f"input dim {x.shape[1]} does not match crossbar cols {self.shape[1]}"
+                f"input dim {x.shape[-1]} does not match crossbar cols {self.shape[1]}"
+            )
+        n_stacked = self.n_stacked
+        if x.ndim == 3 and n_stacked is not None and x.shape[0] != n_stacked:
+            raise ValueError(
+                f"input sample axis {x.shape[0]} does not match the "
+                f"{n_stacked} stacked programming samples"
             )
         v_scale = self._scale if self.input_scale is None else self.input_scale
         v = self.dac.quantize(x, v_scale)
 
-        g_diff = self.g_pos - self.g_neg  # (out, in)
-        if self.wire_resistance > 0.0:
-            g_diff = g_diff * self._ir_drop_attenuation()
-        currents = v @ g_diff.T  # (batch, out)
+        # The effective conductance difference (with IR-drop attenuation
+        # folded in) only changes at program time; caching it saves one
+        # plane-sized (stacked: S plane-sized) temporary per read call —
+        # the reads per programming are exactly what Monte-Carlo scales up.
+        g_diff = self._g_diff_cache  # (out, in) or (S, out, in)
+        if g_diff is None:
+            g_diff = self.g_pos - self.g_neg
+            if self.wire_resistance > 0.0:
+                g_diff = g_diff * self._ir_drop_attenuation()
+            self._g_diff_cache = g_diff
+        if g_diff.ndim == 2:
+            # Plain or broadcast-over-samples MAC: (…, batch, in) @ (in, out).
+            currents = np.matmul(v, g_diff.T)
+        else:
+            # Stacked planes; a shared 2-D input broadcasts over samples.
+            # Each sample slice is the same dgemm the scalar path runs.
+            currents = np.matmul(
+                v if v.ndim == 3 else v[None], g_diff.transpose(0, 2, 1)
+            )
 
         span = self.mapper.g_max - self.mapper.g_min
         # Worst-case column current bounds the ADC full scale — but only
@@ -230,13 +338,36 @@ class Crossbar:
                 )
                 self._clip_warned = True
         if self.read_noise_sigma > 0:
-            currents = currents + self._read_rng.normal(
-                0.0, self.read_noise_sigma * full_scale, size=currents.shape
-            )
+            noise_scale = self.read_noise_sigma * full_scale
+            if currents.ndim == 3 and self._read_rngs is not None:
+                if len(self._read_rngs) != currents.shape[0]:
+                    raise ValueError(
+                        f"{len(self._read_rngs)} read-noise streams for "
+                        f"{currents.shape[0]} stacked samples; call "
+                        "seed_read_noise_batch with one seed per sample"
+                    )
+                # One (batch, out) draw per sample from its own stream —
+                # the same consumption the scalar path makes per call.
+                # Accumulated in place, slice by slice: the stacked block
+                # is S× an ordinary activation, so a stacked noise
+                # temporary + full-block add would double its traffic.
+                if not currents.flags.writeable:
+                    currents = currents.copy()
+                for i, rng in enumerate(self._read_rngs):
+                    currents[i] += rng.normal(
+                        0.0, noise_scale, size=currents.shape[1:]
+                    )
+            else:
+                currents = currents + self._read_rng.normal(
+                    0.0, noise_scale, size=currents.shape
+                )
         currents = self.adc.quantize(currents, full_scale)
 
         out = currents / span * self._scale
-        return out[0] if squeeze else out
+        if squeeze:
+            # (batch=1, out) -> (out,); stacked (S, 1, out) -> (S, out).
+            return out[..., 0, :]
+        return out
 
     def _ir_drop_attenuation(self) -> np.ndarray:
         """Per-cell attenuation factor from wordline/bitline IR drop.
@@ -247,7 +378,8 @@ class Crossbar:
         divider gives attenuation ``(1/G) / (1/G + (i + j) r_w)``, i.e.
         ``1 / (1 + (i + j) r_w G)``. Computed against the worst-case cell
         conductance ``g_max`` per plane average for a conservative
-        first-order estimate.
+        first-order estimate. Stacked ``(S, out, in)`` planes broadcast to
+        a per-sample attenuation map.
         """
         rows, cols = self.shape
         # distance in segments: farthest from both drivers at (rows-1, cols-1)

@@ -1,5 +1,8 @@
 """Analog inference layers: equivalence to digital layers and conversion."""
 
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 
@@ -9,6 +12,7 @@ from repro.compensation import CompensationPlan
 from repro.hardware import AnalogConv2d, AnalogLinear, analogize
 from repro.hardware.cost import CrossbarCostModel
 from repro.models import LeNet5
+from repro.utils.rng import spawn_rngs
 from repro.variation import LogNormalVariation
 
 
@@ -71,6 +75,161 @@ class TestAnalogize:
         expected = lenet(x).data.copy()
         analogize(lenet, variation=LogNormalVariation(0.5), seed=1)
         assert not np.allclose(lenet(x).data, expected)
+
+
+class TestStackedKernels:
+    """Stacked activation layouts of the sample-aware analog layers:
+    (S, N, F) batch-major through AnalogLinear, channel-major
+    (S, C, N, H, W) through AnalogConv2d."""
+
+    def test_layers_declare_sample_aware(self):
+        from repro.evaluation import supports_sample_axis
+        layer = AnalogLinear(nn.Linear(4, 3, seed=0))
+        assert getattr(layer, "sample_aware", False)
+        assert supports_sample_axis(layer)
+
+    def test_linear_stacked_programming_matches_per_sample(self):
+        layer = nn.Linear(10, 6, seed=0)
+        x = np.random.default_rng(0).normal(size=(3, 10))
+        analog = AnalogLinear(layer, tile_size=4)
+        analog.program_batch(LogNormalVariation(0.4), spawn_rngs(5, 3))
+        out = analog(Tensor(x)).data
+        assert out.shape == (3, 3, 6)
+        for i, rng in enumerate(spawn_rngs(5, 3)):
+            ref = AnalogLinear(layer, tile_size=4).program(
+                LogNormalVariation(0.4), rng
+            )
+            np.testing.assert_array_equal(out[i], ref(Tensor(x)).data)
+
+    def test_linear_stacked_input(self):
+        layer = nn.Linear(8, 5, seed=1)
+        analog = AnalogLinear(layer, tile_size=4)
+        x = np.random.default_rng(1).normal(size=(2, 3, 8))
+        out = analog(Tensor(x)).data
+        assert out.shape == (2, 3, 5)
+        for i in range(2):
+            np.testing.assert_allclose(
+                out[i], layer(Tensor(x[i])).data, atol=1e-9
+            )
+
+    def test_conv_stacked_programming_matches_per_sample(self):
+        conv = nn.Conv2d(3, 5, 3, padding=1, seed=0)
+        x = np.random.default_rng(2).normal(size=(2, 3, 6, 6))
+        analog = AnalogConv2d(conv, tile_size=8)
+        analog.program_batch(LogNormalVariation(0.4), spawn_rngs(6, 3))
+        out = analog(Tensor(x)).data
+        assert out.shape == (3, 5, 2, 6, 6)  # channel-major (S, F, N, OH, OW)
+        for i, rng in enumerate(spawn_rngs(6, 3)):
+            ref = AnalogConv2d(conv, tile_size=8).program(
+                LogNormalVariation(0.4), rng
+            )
+            np.testing.assert_array_equal(
+                out[i], ref(Tensor(x)).data.transpose(1, 0, 2, 3)
+            )
+
+    def test_conv_stacked_input_channel_major(self):
+        conv = nn.Conv2d(2, 4, 3, stride=2, seed=3)
+        analog = AnalogConv2d(conv, tile_size=8)
+        # (S, C, N, H, W): per-sample activations through a shared array.
+        x = np.random.default_rng(3).normal(size=(3, 2, 2, 7, 7))
+        out = analog(Tensor(x)).data
+        assert out.shape == (3, 4, 2, 3, 3)
+        for i in range(3):
+            np.testing.assert_allclose(
+                out[i],
+                conv(Tensor(x[i].transpose(1, 0, 2, 3))).data.transpose(
+                    1, 0, 2, 3
+                ),
+                atol=1e-9,
+            )
+
+    def test_conv_stacked_planes_and_stacked_input(self):
+        conv = nn.Conv2d(2, 3, 3, padding=1, seed=4)
+        analog = AnalogConv2d(conv, tile_size=8)
+        analog.program_batch(LogNormalVariation(0.3), spawn_rngs(8, 2))
+        x = np.random.default_rng(4).normal(size=(2, 2, 2, 5, 5))
+        out = analog(Tensor(x)).data
+        assert out.shape == (2, 3, 2, 5, 5)
+        for i, rng in enumerate(spawn_rngs(8, 2)):
+            ref = AnalogConv2d(conv, tile_size=8).program(
+                LogNormalVariation(0.3), rng
+            )
+            np.testing.assert_array_equal(
+                out[i],
+                ref(Tensor(x[i].transpose(1, 0, 2, 3))).data.transpose(
+                    1, 0, 2, 3
+                ),
+            )
+
+
+class TestAnalogizeSeeding:
+    """Regression: per-layer programming seeds came from the salted
+    Python ``hash`` — irreproducible across processes for str seeds and a
+    TypeError for Generator seeds. Now spawned via SeedSequence."""
+
+    _SNIPPET = (
+        "import numpy as np\n"
+        "from repro.hardware import analogize, analog_layers\n"
+        "from repro.models import LeNet5\n"
+        "from repro.variation import LogNormalVariation\n"
+        "m = LeNet5(num_classes=10, in_channels=1, input_size=16,\n"
+        "           width_multiplier=0.5, seed=0)\n"
+        "analogize(m, variation=LogNormalVariation(0.5), seed={seed!r})\n"
+        "digest = [float(l.array.effective_weights().sum())\n"
+        "          for _, l in analog_layers(m)]\n"
+        "print(repr(digest))\n"
+    )
+
+    def _digest_in_subprocess(self, seed, hashseed):
+        import os
+        env = dict(os.environ, PYTHONHASHSEED=str(hashseed))
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run(
+            [sys.executable, "-c", self._SNIPPET.format(seed=seed)],
+            capture_output=True, text=True, env=env, check=True,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        return out.stdout.strip()
+
+    @pytest.mark.parametrize("seed", [1234, "chip-a"])
+    def test_deterministic_across_hash_randomization(self, seed):
+        """The same seed must program the same chip in any process —
+        PYTHONHASHSEED (which salts ``hash``) must have no effect."""
+        a = self._digest_in_subprocess(seed, hashseed=1)
+        b = self._digest_in_subprocess(seed, hashseed=2)
+        assert a == b
+
+    def test_generator_seed_supported(self, lenet):
+        """Old derivation raised TypeError on hash((Generator, i))."""
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 1, 16, 16)))
+        expected = lenet(x).data.copy()
+        analogize(lenet, variation=LogNormalVariation(0.5),
+                  seed=np.random.default_rng(0))
+        assert not np.allclose(lenet(x).data, expected)
+
+    def test_same_seed_same_chip(self):
+        def build():
+            m = LeNet5(num_classes=10, in_channels=1, input_size=16,
+                       width_multiplier=0.5, seed=0)
+            return analogize(m, variation=LogNormalVariation(0.5), seed=77)
+
+        from repro.hardware import analog_layers
+        a, b = build(), build()
+        for (_, la), (_, lb) in zip(analog_layers(a), analog_layers(b)):
+            np.testing.assert_array_equal(
+                la.array.effective_weights(), lb.array.effective_weights()
+            )
+
+    def test_layers_get_independent_seeds(self):
+        m = LeNet5(num_classes=10, in_channels=1, input_size=16,
+                   width_multiplier=0.5, seed=0)
+        analogize(m, variation=LogNormalVariation(0.5), seed=5)
+        from repro.hardware import analog_layers
+        digests = [
+            float(np.abs(l.array.effective_weights()).sum())
+            for _, l in analog_layers(m)
+        ]
+        assert len(set(digests)) == len(digests)
 
 
 class TestCostModel:

@@ -1,0 +1,107 @@
+"""DAC/ADC uniform quantizer: level placement regressions.
+
+Pins the fixes for two historical bugs: (1) the 1-bit converter collapsed
+every input to 0 (step spanned the whole range, banker's rounding did the
+rest); (2) multi-bit quantization placed no level on ±full_scale and
+overshot the range by up to a third of full scale at the exact boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware import ADC, DAC
+from repro.hardware.converters import _UniformQuantizer
+
+FS = 2.5
+
+
+class TestOneBit:
+    """bits=1 is a mid-rise sign converter: levels ±full_scale/2."""
+
+    def test_levels_are_half_full_scale(self):
+        q = DAC(1)
+        x = np.array([-FS, -1.0, -1e-9, 0.0, 1e-9, 1.0, FS])
+        out = q.quantize(x, FS)
+        np.testing.assert_array_equal(
+            out, np.where(x < 0, -FS / 2, FS / 2)
+        )
+
+    def test_not_degenerate(self):
+        """Regression: the old mid-tread formula returned 0 for *every*
+        in-range input at bits=1."""
+        out = ADC(1).quantize(np.linspace(-FS, FS, 101), FS)
+        assert set(np.unique(out)) == {-FS / 2, FS / 2}
+
+    def test_sign_information_preserved(self):
+        x = np.random.default_rng(0).normal(size=64)
+        out = DAC(1).quantize(x, FS)
+        np.testing.assert_array_equal(np.sign(out), np.where(x < 0, -1.0, 1.0))
+
+
+class TestTwoBit:
+    """bits=2 keeps a zero level and symmetric extremes on ±full_scale."""
+
+    def test_level_set(self):
+        out = DAC(2).quantize(np.linspace(-FS, FS, 1001), FS)
+        assert set(np.unique(out)) == {-FS, 0.0, FS}
+
+    def test_boundaries_do_not_overshoot(self):
+        """Regression: round(x/step) with step = 2fs/(L-1) mapped the exact
+        boundary ±fs to ±4fs/3 at bits=2."""
+        out = DAC(2).quantize(np.array([-FS, FS]), FS)
+        np.testing.assert_array_equal(out, [-FS, FS])
+
+    def test_zero_preserved(self):
+        assert DAC(2).quantize(np.array([0.0]), FS)[0] == 0.0
+
+
+class TestMultiBit:
+    @pytest.mark.parametrize("bits", [3, 4, 8, 12])
+    def test_output_within_range(self, bits):
+        x = np.random.default_rng(1).normal(scale=3 * FS, size=256)
+        x = np.concatenate([x, [-FS, FS, 0.0]])
+        out = ADC(bits).quantize(x, FS)
+        assert np.abs(out).max() <= FS
+
+    @pytest.mark.parametrize("bits", [2, 3, 4, 8])
+    def test_zero_is_a_level(self, bits):
+        assert ADC(bits).quantize(np.zeros(4), FS).tolist() == [0.0] * 4
+
+    @pytest.mark.parametrize("bits", [3, 4, 8])
+    def test_full_scale_is_a_level(self, bits):
+        out = ADC(bits).quantize(np.array([FS, -FS]), FS)
+        np.testing.assert_array_equal(out, [FS, -FS])
+
+    def test_error_bounded_by_half_step(self):
+        bits = 6
+        m = 2 ** (bits - 1) - 1
+        x = np.random.default_rng(2).uniform(-FS, FS, size=512)
+        out = ADC(bits).quantize(x, FS)
+        assert np.abs(out - x).max() <= FS / m / 2 + 1e-12
+
+    def test_more_bits_less_error(self):
+        x = np.random.default_rng(3).uniform(-FS, FS, size=512)
+        errs = [
+            np.abs(ADC(bits).quantize(x, FS) - x).max() for bits in (2, 4, 8)
+        ]
+        assert errs[0] > errs[1] > errs[2]
+
+
+class TestIdealAndInvalid:
+    def test_ideal_pass_through(self):
+        x = np.random.default_rng(4).normal(size=8)
+        assert DAC(None).quantize(x, FS) is x
+
+    def test_nonpositive_full_scale_pass_through(self):
+        x = np.random.default_rng(5).normal(size=8)
+        assert _UniformQuantizer(4).quantize(x, 0.0) is x
+
+    def test_invalid_bits_raise(self):
+        with pytest.raises(ValueError):
+            DAC(0)
+        with pytest.raises(ValueError):
+            ADC(-3)
+
+    def test_levels_property(self):
+        assert DAC(None).levels is None
+        assert DAC(3).levels == 8

@@ -259,6 +259,161 @@ class TestClipWarning:
             xbar.mvm(x)
 
 
+class TestStackedProgramming:
+    """program_batch + stacked mvm: the crossbar half of the vectorized
+    Monte-Carlo engine's analog paired-seed contract."""
+
+    def _paired_streams(self, n, root=7):
+        from repro.utils.rng import spawn_rngs
+        return spawn_rngs(root, n), spawn_rngs(root, n)
+
+    def test_planes_bitwise_equal_scalar_program(self, weights):
+        stacked_rngs, scalar_rngs = self._paired_streams(3)
+        xbar = Crossbar(weights)
+        xbar.program_batch(LogNormalVariation(0.4), stacked_rngs)
+        assert xbar.n_stacked == 3
+        assert xbar.g_pos.shape == (3,) + weights.shape
+        for i, rng in enumerate(scalar_rngs):
+            ref = Crossbar(weights).program(LogNormalVariation(0.4), rng)
+            np.testing.assert_array_equal(xbar.g_pos[i], ref.g_pos)
+            np.testing.assert_array_equal(xbar.g_neg[i], ref.g_neg)
+
+    def test_stacked_mvm_shared_input_bitwise(self, weights):
+        """Each sample slice of the stacked chain (quantizers + read noise)
+        is bitwise what the scalar chain computes for that draw."""
+        stacked_rngs, scalar_rngs = self._paired_streams(4)
+        x = np.random.default_rng(20).normal(size=(5, 12))
+        xbar = Crossbar(weights, dac=DAC(6), adc=ADC(8), read_noise_sigma=0.01)
+        xbar.program_batch(LogNormalVariation(0.3), stacked_rngs)
+        xbar.seed_read_noise_batch(stacked_rngs)
+        out = xbar.mvm(x)
+        assert out.shape == (4, 5, 8)
+        for i, rng in enumerate(scalar_rngs):
+            ref = Crossbar(weights, dac=DAC(6), adc=ADC(8),
+                           read_noise_sigma=0.01)
+            ref.program(LogNormalVariation(0.3), rng)
+            ref.seed_read_noise(rng)
+            np.testing.assert_array_equal(out[i], ref.mvm(x))
+
+    def test_stacked_mvm_stacked_input(self, weights):
+        """A per-sample (S, batch, in) activation block pairs with driving
+        each sample's rows through that sample's programmed state."""
+        stacked_rngs, scalar_rngs = self._paired_streams(3, root=9)
+        x = np.random.default_rng(21).normal(size=(3, 4, 12))
+        xbar = Crossbar(weights)
+        xbar.program_batch(LogNormalVariation(0.5), stacked_rngs)
+        out = xbar.mvm(x)
+        assert out.shape == (3, 4, 8)
+        for i, rng in enumerate(scalar_rngs):
+            ref = Crossbar(weights).program(LogNormalVariation(0.5), rng)
+            np.testing.assert_array_equal(out[i], ref.mvm(x[i]))
+
+    def test_stacked_effective_weights(self, weights):
+        rngs, _ = self._paired_streams(2)
+        xbar = Crossbar(weights, clip_conductance=False)
+        xbar.program_batch(LogNormalVariation(0.3), rngs)
+        eff = xbar.effective_weights()
+        assert eff.shape == (2,) + weights.shape
+        assert not np.allclose(eff[0], eff[1])
+
+    def test_sample_axis_mismatch_raises(self, weights):
+        rngs, _ = self._paired_streams(2)
+        xbar = Crossbar(weights).program_batch(LogNormalVariation(0.2), rngs)
+        with pytest.raises(ValueError, match="sample axis"):
+            xbar.mvm(np.zeros((3, 5, 12)))
+
+    def test_read_stream_count_mismatch_raises(self, weights):
+        rngs, _ = self._paired_streams(2)
+        xbar = Crossbar(weights, read_noise_sigma=0.01)
+        xbar.program_batch(LogNormalVariation(0.2), rngs)
+        xbar.seed_read_noise_batch([0])
+        with pytest.raises(ValueError, match="read-noise streams"):
+            xbar.mvm(np.zeros((4, 12)))
+
+    def test_empty_seed_list_raises(self, weights):
+        with pytest.raises(ValueError):
+            Crossbar(weights).program_batch(LogNormalVariation(0.2), [])
+
+    def test_scalar_program_resets_stacked_state(self, weights):
+        rngs, _ = self._paired_streams(2)
+        xbar = Crossbar(weights).program_batch(LogNormalVariation(0.2), rngs)
+        xbar.program(seed=0)
+        assert xbar.n_stacked is None
+        assert xbar.mvm(np.zeros((3, 12))).shape == (3, 8)
+
+    def test_scalar_program_drops_stale_read_streams(self, weights):
+        """Reprogramming to single-state must also drop the per-sample
+        read streams: a later stacked-*input* mvm (single-state array,
+        (S, batch, in) activations) would otherwise consume the stale
+        per-draw streams instead of the scalar one — unpaired results, or
+        a misleading stream-count error for a different S."""
+        rngs, _ = self._paired_streams(2)
+        xbar = Crossbar(weights, read_noise_sigma=0.01)
+        xbar.program_batch(LogNormalVariation(0.2), rngs)
+        xbar.seed_read_noise_batch(rngs)
+        xbar.program(seed=0)
+        xbar.seed_read_noise(5)
+        x = np.random.default_rng(23).normal(size=(3, 4, 12))
+        out = xbar.mvm(x)  # S=3 != 2 stale streams: must not raise
+        ref = Crossbar(weights, read_noise_sigma=0.01)
+        ref.program(seed=0)
+        ref.seed_read_noise(5)
+        np.testing.assert_array_equal(out, ref.mvm(x))
+
+    def test_stacked_vector_input_squeezed(self, weights):
+        rngs, _ = self._paired_streams(2)
+        xbar = Crossbar(weights).program_batch(LogNormalVariation(0.2), rngs)
+        out = xbar.mvm(np.random.default_rng(22).normal(size=12))
+        assert out.shape == (2, 8)
+
+
+class TestEffectiveWeightsIRDrop:
+    """Regression: effective_weights ignored the IR-drop attenuation mvm
+    applies, so readers of effective weights disagreed with what the array
+    actually computes."""
+
+    def test_decode_matches_mvm(self):
+        w = np.random.default_rng(30).normal(size=(6, 8))
+        xbar = Crossbar(w, wire_resistance=300.0)
+        x = np.random.default_rng(31).normal(size=(4, 8))
+        # Ideal converters, no noise: the MAC is exactly x @ W_eff.T.
+        np.testing.assert_allclose(
+            xbar.mvm(x), x @ xbar.effective_weights().T, atol=1e-12
+        )
+
+    def test_attenuated_decode_differs_from_raw(self):
+        w = np.ones((5, 5))
+        xbar = Crossbar(w, wire_resistance=400.0)
+        eff = xbar.effective_weights()
+        raw = xbar.effective_weights(include_ir_drop=False)
+        assert (np.abs(eff) <= np.abs(raw) + 1e-15).all()
+        assert not np.allclose(eff, raw)
+
+    def test_raw_decode_is_exact_round_trip(self):
+        w = np.random.default_rng(32).normal(size=(5, 7))
+        xbar = Crossbar(w, wire_resistance=250.0)
+        np.testing.assert_allclose(
+            xbar.effective_weights(include_ir_drop=False), w, atol=1e-12
+        )
+
+    def test_zero_resistance_identical(self):
+        w = np.random.default_rng(33).normal(size=(4, 4))
+        xbar = Crossbar(w)
+        np.testing.assert_array_equal(
+            xbar.effective_weights(), xbar.effective_weights(include_ir_drop=False)
+        )
+
+    def test_tiled_stitching_matches_mvm(self):
+        from repro.hardware import TiledCrossbarArray
+        w = np.random.default_rng(34).normal(size=(11, 13))
+        arr = TiledCrossbarArray(w, tile_rows=4, tile_cols=5,
+                                 wire_resistance=200.0)
+        x = np.random.default_rng(35).normal(size=(3, 13))
+        np.testing.assert_allclose(
+            arr.mvm(x), x @ arr.effective_weights().T, atol=1e-12
+        )
+
+
 @contextlib.contextmanager
 def warnings_none():
     """Context manager asserting no InputScaleClipWarning is emitted."""
