@@ -31,6 +31,21 @@ def _pair(value: KernelLike) -> Tuple[int, int]:
     return (int(kh), int(kw))
 
 
+#: Receptive-field sizes (K = C*KH*KW) routed through the batched
+#: ``(F, K) @ (N, K, P)`` lowering instead of the receptive-field-row GEMM.
+#: Micro-benchmark-derived (single-threaded OpenBLAS, this repo's im2col):
+#: the row layout's K-innermost gather reads KW-long runs, which starves
+#: the copy for tiny K, and the row GEMM's (N*P, K) operand is so skinny
+#: that the per-image batched product — whose (N, F, P) result is already
+#: channel-major, skipping the output transpose — wins outright:
+#: K=9: 9.2x, K=25 (the c=1 first-layer LeNet shape): 2.4x, K=27 (VGG
+#: first layer): 7.1x, K=150 (LeNet conv2): 1.2x; the forms cross near
+#: K~2300 and the single big row GEMM wins for K>=4600 (it also threads
+#: better on multi-core BLAS), so the gate stays conservatively at the
+#: tiny-K regime.
+BATCHED_CONV_MAX_K = 160
+
+
 def conv2d(
     x: Tensor,
     weight: Tensor,
@@ -52,6 +67,9 @@ def conv2d(
     This is what makes numpy training of the VGG-style models and the
     per-sample Monte-Carlo reference loop feasible (~4x over the previous
     ``np.einsum`` contraction; see ``benchmarks/test_perf_conv.py``).
+    Small receptive fields (``K <= BATCHED_CONV_MAX_K``, e.g. the
+    gather-bound c=1 first-layer shape) route through the batched
+    per-image lowering of :func:`_conv2d_small_k` instead.
 
     A 5-D ``weight`` of shape (S, F, C, KH, KW) is treated as a stack of S
     independent filter banks (one per Monte-Carlo variation sample) and
@@ -65,6 +83,8 @@ def conv2d(
     weight = as_tensor(weight)
     if weight.ndim == 5 or x.ndim == 5:
         return _conv2d_stacked(x, weight, bias, stride, padding)
+    if int(np.prod(weight.shape[1:])) <= BATCHED_CONV_MAX_K:
+        return _conv2d_small_k(x, weight, bias, stride, padding)
     n, c, h, w = x.shape
     f, wc, kh, kw = weight.shape
     if wc != c:
@@ -105,6 +125,59 @@ def conv2d(
                 0, 3, 4, 5, 1, 2
             )
             x._accumulate(col2im(gview, (n, c, h, w), (kh, kw), stride, padding))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(out.grad.sum(axis=(0, 2, 3)))
+
+    out._backward = _backward
+    return out
+
+
+def _conv2d_small_k(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor],
+    stride: int,
+    padding: int,
+) -> Tensor:
+    """Small-receptive-field convolution via the batched per-image GEMM.
+
+    Forward is ``(F, K) @ (N, K, P)`` — one broadcasted batched matmul
+    whose ``(N, F, P)`` result reshapes straight into the NCHW output, so
+    unlike the receptive-field-row lowering no full-size output transpose
+    is ever materialized. The backward mirrors it: d/dW contracts the same
+    batched operands, d/dx is ``(K, F) @ (N, F, P)`` feeding the col2im
+    scatter directly. Same per-element reduction order over K as the row
+    GEMM (a BLAS dot per output element), so the two lowerings agree to
+    float ulp. See ``BATCHED_CONV_MAX_K`` for when this path wins.
+    """
+    n, c, h, w = x.shape
+    f, wc, kh, kw = weight.shape
+    if wc != c:
+        raise ValueError(f"weight expects {wc} input channels, input has {c}")
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+    k = c * kh * kw
+
+    cols = im2col(x.data, (kh, kw), stride, padding)  # (N, K, P)
+    w2 = weight.data.reshape(f, k)
+    out_data = np.matmul(w2, cols).reshape(n, f, oh, ow)
+    if bias is not None:
+        out_data += bias.data.reshape(1, f, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    requires = any(p.requires_grad for p in parents)
+    out = Tensor(out_data, requires_grad=requires, _parents=parents, _op="conv2d")
+
+    def _backward() -> None:
+        grad = out.grad.reshape(n, f, oh * ow)  # contiguous: no transpose
+        if weight.requires_grad:
+            # (N, F, P) @ (N, P, K) summed over the batch; the (N, F, K)
+            # intermediate is small by construction (K is tiny here).
+            gw = np.matmul(grad, cols.transpose(0, 2, 1)).sum(axis=0)
+            weight._accumulate(gw.reshape(weight.shape))
+        if x.requires_grad:
+            gcols = np.matmul(w2.T, grad)  # (N, K, P)
+            x._accumulate(col2im(gcols, (n, c, h, w), (kh, kw), stride, padding))
         if bias is not None and bias.requires_grad:
             bias._accumulate(out.grad.sum(axis=(0, 2, 3)))
 

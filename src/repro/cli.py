@@ -70,6 +70,20 @@ def _add_variation_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_chunk_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--chunk-samples", type=int, default=None, metavar="S",
+        help="Monte-Carlo draws evaluated per stacked pass; bounds the peak "
+        "memory of stacked weights/conductance planes without changing "
+        "results (chunking is bitwise-neutral)",
+    )
+    parser.add_argument(
+        "--memory-budget", type=float, default=None, metavar="MB",
+        help="derive --chunk-samples from a peak-memory budget in MiB for "
+        "stacked state (an explicit --chunk-samples wins)",
+    )
+
+
 def _resolve_variation(args) -> VariationModel:
     """The scenario a command should run: --variation spec, else the
     paper's log-normal model at --sigma."""
@@ -133,8 +147,10 @@ def eval_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--workers", type=int, default=0,
         help="process-pool size for --engine pool (and the fallback when a "
-        "model lacks vectorized kernels)",
+        "model lacks vectorized kernels); pool workers run stacked chunks "
+        "when the model supports them",
     )
+    _add_chunk_args(parser)
     parser.add_argument(
         "--analog", action="store_true",
         help="deploy the checkpoint onto simulated RRAM crossbars "
@@ -206,6 +222,8 @@ def eval_main(argv: Optional[List[str]] = None) -> int:
         n_samples=args.samples,
         vectorized=args.engine == "vectorized",
         n_workers=n_workers,
+        chunk_samples=args.chunk_samples,
+        memory_budget_mb=args.memory_budget,
     )
     variation = _resolve_variation(args)
     result = evaluator.evaluate(model, variation)
@@ -224,6 +242,7 @@ def search_main(argv: Optional[List[str]] = None) -> int:
     _common_args(parser)
     parser.add_argument("--sigma", type=float, default=0.5)
     _add_variation_arg(parser)
+    _add_chunk_args(parser)
     args = parser.parse_args(argv)
     if args.verbose:
         set_verbosity()
@@ -234,6 +253,10 @@ def search_main(argv: Optional[List[str]] = None) -> int:
     config = fast_pipeline_config(
         sigma=variation.magnitude, seed=args.seed, variation=variation
     )
+    if args.chunk_samples is not None:
+        config.eval.chunk_samples = args.chunk_samples
+    if args.memory_budget is not None:
+        config.eval.memory_budget_mb = args.memory_budget
     result = CorrectNet(model, train, test, config).run()
     print(
         format_table(

@@ -76,12 +76,17 @@ class EvalConfig:
     seed: int = 1234
     candidate_threshold: float = 0.95
     max_candidates: Optional[int] = None
-    # Engine selection (see repro.evaluation.montecarlo): the vectorized
+    # Backend selection (see repro.evaluation.montecarlo): the vectorized
     # path is seed-paired with the reference loop, so it is on by default;
     # models it cannot handle fall back automatically.
     vectorized: bool = True
     n_workers: int = 0
-    sample_chunk: int = 16
+    # Stacked-chunk size: draws evaluated per stacked pass. Bitwise-neutral
+    # (chunking never changes results), purely a peak-memory/locality knob.
+    chunk_samples: int = 16
+    # When set, derive the chunk size from a peak-memory budget instead
+    # (see repro.evaluation.plan.estimate_sample_bytes).
+    memory_budget_mb: Optional[float] = None
 
 
 @dataclass
@@ -136,13 +141,17 @@ class PipelineConfig:
         for key in ("ratio_choices", "overhead_limits"):
             if key in rl_kwargs:
                 rl_kwargs[key] = tuple(rl_kwargs[key])
+        eval_kwargs = dict(payload.get("eval", {}))
+        if "sample_chunk" in eval_kwargs:
+            # Pre-plan/executor records called the chunk knob sample_chunk.
+            eval_kwargs["chunk_samples"] = eval_kwargs.pop("sample_chunk")
         return cls(
             sigma=payload.get("sigma", 0.5),
             variation=payload.get("variation"),
             train=TrainConfig(**payload.get("train", {})),
             compensation=CompensationConfig(**payload.get("compensation", {})),
             rl=RLConfig(**rl_kwargs),
-            eval=EvalConfig(**payload.get("eval", {})),
+            eval=EvalConfig(**eval_kwargs),
         )
 
 

@@ -158,7 +158,9 @@ class CorrectNet:
     # ------------------------------------------------------------------
     def _evaluator(self, n_samples: int) -> MonteCarloEvaluator:
         """Monte-Carlo engine configured per ``config.eval`` (vectorized by
-        default, with automatic fallback for non-sample-aware models)."""
+        default, with automatic fallback for non-sample-aware models).
+        ``chunk_samples`` is the default stacked-chunk size; a configured
+        ``memory_budget_mb`` derives the chunk from a byte budget instead."""
         cfg = self.config.eval
         return MonteCarloEvaluator(
             self.test_data,
@@ -166,7 +168,8 @@ class CorrectNet:
             seed=cfg.seed,
             vectorized=cfg.vectorized,
             n_workers=cfg.n_workers,
-            sample_chunk=cfg.sample_chunk,
+            sample_chunk=cfg.chunk_samples,
+            memory_budget_mb=cfg.memory_budget_mb,
         )
 
     def find_candidates(self, original_accuracy: float) -> List[int]:

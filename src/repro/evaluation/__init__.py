@@ -11,6 +11,8 @@ per-layer feature deviations that motivate error suppression (Fig. 4).
 
 from repro.evaluation.metrics import accuracy, recovery_ratio
 from repro.evaluation.montecarlo import MCResult, MonteCarloEvaluator
+from repro.evaluation.executor import execute, make_adapter
+from repro.evaluation.plan import build_plan, estimate_sample_bytes, EvalPlan
 from repro.evaluation.vectorized import stacked_accuracies, supports_sample_axis
 from repro.evaluation.layer_sweep import layer_sweep, select_candidates
 from repro.evaluation.tracer import ErrorPropagationTracer, LayerDeviation
@@ -34,4 +36,9 @@ __all__ = [
     "logit_shift_under_variation",
     "stacked_accuracies",
     "supports_sample_axis",
+    "EvalPlan",
+    "build_plan",
+    "estimate_sample_bytes",
+    "execute",
+    "make_adapter",
 ]

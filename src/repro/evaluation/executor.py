@@ -1,0 +1,260 @@
+"""Executing an :class:`~repro.evaluation.plan.EvalPlan`.
+
+One generic driver per backend — loop, vectorized, pool — runs any plan;
+what used to distinguish the six Monte-Carlo engine bodies (plain vs
+analog, each times three backends) is now a **model adapter**: the one
+object that knows how to apply a draw (or a stacked chunk of draws) to the
+model and how to restore the model afterwards.
+
+- :class:`WeightAdapter` — weight-domain models (plain, compensated). A
+  draw is :meth:`VariationInjector.applied`; a chunk is ``stack_for`` +
+  ``applied_stack`` (sample-stacked parameter arrays). Restoration is
+  per-application: the injector puts nominal values back on context exit.
+- :class:`AnalogAdapter` — crossbar-deployed models. A draw programs every
+  analog layer from the draw's stream (one tile-programming spawn plus,
+  when the array models read noise, one read-noise spawn, in traversal
+  order); a chunk programs stacked conductance planes via
+  ``program_batch``/``seed_read_noise_batch`` on the same streams.
+  Restoration is run-scoped: ``preserved_programming`` snapshots the
+  deployed chip state around the whole evaluation.
+
+Both adapters consume exactly one logical draw per (sample, target) from
+the plan's seed schedule, in the same order — that single fact is the
+entire cross-backend bitwise contract, and it is now stated (and tested)
+once instead of per engine.
+
+The pool backend ships the model, dataset and plan once per worker
+through the executor initializer (task payloads carry only each shard's
+rng streams, so IPC is O(workers + samples)) and rebuilds the adapter in
+the worker. Workers run the **vectorized stacked kernels over their
+shard's chunks** when the plan says the model supports it
+(``plan.worker_vectorized`` — the hybrid workers × stacked-S scale point
+recorded in ``BENCH_mc.json``), falling back to the per-draw reference
+loop otherwise. Shard results concatenate in sample order.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.evaluation.metrics import accuracy
+from repro.evaluation.plan import EvalPlan
+from repro.evaluation.vectorized import stacked_accuracies
+from repro.hardware.analog_layers import (
+    analog_layers,
+    preserved_programming,
+)
+from repro.nn.module import Module
+from repro.variation.injector import VariationInjector
+from repro.variation.models import VariationModel
+
+
+# ---------------------------------------------------------------------------
+# Model adapters
+# ---------------------------------------------------------------------------
+class WeightAdapter:
+    """Apply draws by perturbing ``Parameter.data`` through the injector."""
+
+    def __init__(
+        self,
+        model: Module,
+        variation: VariationModel,
+        layers: Optional[Sequence[Module]] = None,
+        protection_masks: Optional[Dict[str, np.ndarray]] = None,
+    ) -> None:
+        self.model = model
+        self.injector = VariationInjector(model, variation, layers, protection_masks)
+
+    @property
+    def has_targets(self) -> bool:
+        """False when nothing is subject to variation (e.g. an empty layer
+        subset): every draw then sees nominal weights."""
+        return bool(self.injector.target_parameters())
+
+    def run_context(self):
+        """Weight restoration is per-application, so nothing run-scoped."""
+        return contextlib.nullcontext()
+
+    def apply_draw(self, rng):
+        return self.injector.applied(rng)
+
+    @contextlib.contextmanager
+    def apply_chunk(self, rngs) -> Iterator[None]:
+        with self.injector.applied_stack(self.injector.stack_for(rngs)):
+            yield
+
+
+class AnalogAdapter:
+    """Apply draws by (re)programming the crossbar arrays.
+
+    Per-layer spec resolution mirrors ``analogize``: the layer's qualified
+    name and its position among the analog layers (the weighted-layer
+    index of the pre-conversion model when the whole model was converted)
+    feed ``variation.model_for``, so ``LayerMap`` scenarios target the
+    same layers in the analog and weight-domain protocols. Layers whose
+    arrays model no read noise skip the read-seeding spawn — consistently,
+    keeping per-stream consumption identical in every backend.
+    """
+
+    def __init__(self, model: Module, variation: VariationModel) -> None:
+        self.model = model
+        layers = analog_layers(model)
+        self.resolved = [
+            (
+                layer,
+                variation.model_for(name, index, len(layers)),
+                layer.models_read_noise,
+            )
+            for index, (name, layer) in enumerate(layers)
+        ]
+
+    has_targets = True  # an analog model always has arrays to program
+
+    def run_context(self):
+        """Snapshot the deployed chip state around the whole run."""
+        return preserved_programming(self.model)
+
+    @contextlib.contextmanager
+    def apply_draw(self, rng) -> Iterator[None]:
+        for layer, spec, seeds_read in self.resolved:
+            layer.program(spec, rng)
+            if seeds_read:
+                layer.seed_read_noise(rng)
+        yield
+
+    @contextlib.contextmanager
+    def apply_chunk(self, rngs) -> Iterator[None]:
+        for layer, spec, seeds_read in self.resolved:
+            layer.program_batch(spec, rngs)
+            if seeds_read:
+                layer.seed_read_noise_batch(rngs)
+        yield
+
+
+def make_adapter(model: Module, plan: EvalPlan):
+    """The adapter matching the plan's domain, bound to ``model``."""
+    if plan.domain == "analog":
+        return AnalogAdapter(model, plan.variation)
+    return WeightAdapter(model, plan.variation, plan.layers, plan.protection_masks)
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+def _loop_accuracies(model, dataset, adapter, plan: EvalPlan, rngs) -> List[float]:
+    """Reference execution: one full forward sweep per draw."""
+    accs = []
+    for rng in rngs:
+        with adapter.apply_draw(rng):
+            accs.append(accuracy(model, dataset, plan.loop_batch))
+    return accs
+
+
+def _stacked_accuracies(model, dataset, adapter, plan: EvalPlan, rngs) -> List[float]:
+    """Stacked execution of ``rngs`` in ``chunk_samples``-sized chunks.
+
+    Chunks are slices of the caller's stream list, so pairing — and the
+    bitwise equality of chunked and unchunked runs — is structural: draw
+    ``i`` consumes stream ``i`` no matter where chunk boundaries fall.
+    """
+    accs: List[float] = []
+    for start in range(0, len(rngs), plan.chunk_samples):
+        chunk = rngs[start : start + plan.chunk_samples]
+        with adapter.apply_chunk(chunk):
+            stacked = stacked_accuracies(model, dataset, len(chunk), plan.data_block)
+        accs.extend(float(a) for a in stacked)
+    return accs
+
+
+#: Per-worker state installed by :func:`_pool_init` — the executor
+#: initializer runs once per worker process, so the (potentially large)
+#: model and dataset cross the IPC boundary once per worker instead of
+#: once per task payload.
+_POOL_STATE: Dict[str, object] = {}
+
+
+def _pool_init(model: Module, dataset: ArrayDataset, plan: EvalPlan) -> None:
+    """Executor initializer: rebuild this worker's adapter and context.
+
+    The model, layer subset and masks travel inside one pickle (the plan
+    carries layers/masks) so object identity between ``plan.layers``
+    entries and modules inside ``model`` survives the round-trip. Analog
+    adapters resolve their per-layer specs here, against this worker's
+    copy of the module tree.
+    """
+    _POOL_STATE["model"] = model
+    _POOL_STATE["dataset"] = dataset
+    _POOL_STATE["plan"] = plan
+    _POOL_STATE["adapter"] = make_adapter(model, plan)
+
+
+def _pool_worker(rngs) -> List[float]:
+    """Evaluate one contiguous shard of draws.
+
+    Receives only the shard's rng streams; everything else lives in
+    :data:`_POOL_STATE` since :func:`_pool_init`. Runs the stacked kernels
+    chunk by chunk when the plan allows (hybrid pool x vectorized), else
+    the per-draw reference loop.
+    """
+    model = _POOL_STATE["model"]
+    dataset = _POOL_STATE["dataset"]
+    plan = _POOL_STATE["plan"]
+    adapter = _POOL_STATE["adapter"]
+    with adapter.run_context():
+        if plan.worker_vectorized and adapter.has_targets:
+            return _stacked_accuracies(model, dataset, adapter, plan, rngs)
+        return _loop_accuracies(model, dataset, adapter, plan, rngs)
+
+
+def _run_pool(plan: EvalPlan, model: Module, dataset: ArrayDataset):
+    """Fan the plan's shards out over worker processes, order-preserving."""
+    from repro.evaluation.montecarlo import MCResult
+
+    rngs = plan.draw_rngs()
+    shards = plan.worker_shards()
+    with ProcessPoolExecutor(
+        max_workers=min(plan.n_workers, plan.n_samples),
+        initializer=_pool_init,
+        initargs=(model, dataset, plan),
+    ) as pool:
+        parts = list(
+            pool.map(_pool_worker, [rngs[start:stop] for start, stop in shards])
+        )
+    return MCResult([acc for part in parts for acc in part])
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+def execute(plan: EvalPlan, model: Module, dataset: ArrayDataset):
+    """Run ``plan`` against ``model``/``dataset``; returns an ``MCResult``.
+
+    The model must be in the mode the plan was built against (the
+    evaluator forces eval mode around both calls). Deterministic plans —
+    no variation to sample, no read noise — short-circuit to a single
+    nominal evaluation.
+    """
+    from repro.evaluation.montecarlo import MCResult
+
+    if plan.deterministic:
+        return MCResult([accuracy(model, dataset, plan.batch_size)])
+    if plan.backend == "pool":
+        return _run_pool(plan, model, dataset)
+    adapter = make_adapter(model, plan)
+    if plan.backend == "vectorized" and not adapter.has_targets:
+        # No target parameters (e.g. empty layer subset): every sample
+        # sees nominal weights, matching what the loop would measure.
+        acc = accuracy(model, dataset, plan.batch_size)
+        return MCResult([acc] * plan.n_samples)
+    rngs = plan.draw_rngs()
+    with adapter.run_context():
+        if plan.backend == "vectorized":
+            accs = _stacked_accuracies(model, dataset, adapter, plan, rngs)
+        else:
+            accs = _loop_accuracies(model, dataset, adapter, plan, rngs)
+    return MCResult(accs)

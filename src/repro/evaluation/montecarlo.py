@@ -6,87 +6,53 @@ sample". Sample count is configurable (fast benchmark modes use fewer);
 sample ``i`` always draws from the same spawned rng stream, so results are
 reproducible and paired across configurations sharing a seed.
 
-Three execution engines share that protocol:
+Since the plan/executor refactor the evaluator itself is thin: it
+normalizes the variation spec, forces eval mode, builds an
+:class:`~repro.evaluation.plan.EvalPlan` (domain, backend, seed schedule,
+sample-chunk schedule, data blocking) and hands it to
+:func:`repro.evaluation.executor.execute`. The three backends —
 
-- **reference loop** (default): one full-dataset forward pass per sample,
-  perturbing weights in place via :meth:`VariationInjector.applied`. This
-  is the semantic ground truth.
-- **vectorized** (``vectorized=True``): all perturbations are drawn up
-  front with :meth:`VariationInjector.sample_batch` and stacked on a
-  leading sample axis; the sample-aware kernels in
-  ``repro.autograd.functional`` / ``repro.nn.layers`` then evaluate every
-  sample in one einsum/GEMM pass per data batch. **Equivalence contract:**
-  ``sample_batch`` consumes exactly the rng streams the loop consumes, in
-  the same per-parameter order, so the installed weights are bitwise equal
-  to the loop's sample-by-sample — only the reduction order of the matmul
-  differs (float-ulp level). The paired-seed tests in
-  ``tests/test_evaluation.py`` pin this down. Compensated models are
-  sample-aware (their wrappers handle stacked activations around the
-  digital compensation path), so RL reward evaluation and final
-  compensated evaluation both ride this engine. Models containing layers
-  without sample-aware kernels (batch norm, analog layers) are detected
-  by :func:`supports_sample_axis` and fall through to the next engine.
-- **process pool** (``n_workers > 1``): samples are split into contiguous
-  index chunks, each evaluated by the reference loop in a worker process
-  with its own copy of the model. The model, dataset, layer subset and
-  masks are shipped **once per worker** through the executor initializer;
-  task payloads carry only the chunk's rng streams, so IPC is
-  O(workers + samples), not O(workers x dataset). Chunks carry the same
-  spawned rng streams, so results are identical to the serial loop, in
-  order.
+- **loop** (default): one full-dataset forward pass per sample, the
+  semantic ground truth;
+- **vectorized** (``vectorized=True``): all samples of a chunk evaluated
+  per data batch through the sample-stacked kernels;
+- **pool** (``n_workers > 1``): samples sharded over worker processes,
+  each worker running the stacked kernels over its shard's chunks when
+  the model supports them (hybrid pool x vectorized), else the loop —
+
+share one paired-seed contract, stated once in ``plan``/``executor``: a
+given seed produces bitwise-identical per-draw state in every backend, so
+engine choice, ``chunk_samples`` and ``n_workers`` are pure performance
+knobs. Weight-domain and analog (crossbar-deployed) models run through the
+same backends; only the *model adapter* — how a draw or a chunk of draws
+is applied — differs (see ``repro.evaluation.executor``).
+
+Memory-bounded streaming: stacked execution materializes per-draw state
+(weight stacks / conductance planes) for ``chunk_samples`` draws at a
+time, so arbitrarily large sample counts stream through fixed memory with
+results bitwise identical to the unchunked run. The chunk size may be set
+explicitly (``chunk_samples``), derived from a byte budget
+(``memory_budget_mb``), or left at the locality default (``sample_chunk``).
 
 Every ``variation`` argument accepts a full spec — a ``VariationModel``, a
 grammar string (``"lognormal:0.5+quant:4"``), or a spec dict (see
-``repro.variation.spec``). Composed and per-layer specs ride all three
-engines with the same paired-seed guarantee, because composition happens
-inside ``VariationModel.perturb`` on the same per-sample streams.
-
-**Analog (crossbar-simulated) models.** For models deployed with
-``repro.hardware.analogize`` the weight-domain injector has nothing to
-perturb: variation applies at *programming time*, in the conductance
-domain, and read-cycle noise at every MVM. The evaluator detects analog
-layers and runs the same three engines through the crossbar simulator:
-
-- per draw ``i`` the loop reprograms every analog layer from spawned
-  stream ``i`` — for each layer in traversal order it consumes one draw
-  for tile-programming spawn and one for read-noise spawn — then runs a
-  full forward sweep;
-- the vectorized engine programs the same draws as **stacked conductance
-  planes** (``TiledCrossbarArray.program_batch``) with per-sample
-  read-noise streams, and evaluates every sample per data batch in one
-  broadcast pass through the analog chain;
-- the pool fans the per-draw loop out over workers.
-
-Per-stream seed consumption is identical in all three, and the analog
-engines share one data blocking (``data_block``) because read-noise
-streams advance with each MVM call — so engine choice stays a pure
-performance knob, bitwise. The programmed state present before
-``evaluate`` (the "deployed chip") is restored afterwards. ``layers`` /
-``protection_masks`` are weight-domain controls and are rejected for
-analog models — express per-layer analog scenarios with a ``LayerMap``
-spec instead.
+``repro.variation.spec``). For analog models ``layers`` /
+``protection_masks`` are rejected (weight-domain controls) — express
+per-layer analog scenarios with a ``LayerMap`` spec instead.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.data.dataset import ArrayDataset
-from repro.evaluation.metrics import accuracy
-from repro.evaluation.vectorized import stacked_accuracies, supports_sample_axis
-from repro.hardware.analog_layers import (
-    analog_layers,
-    has_read_noise,
-    preserved_programming,
-)
+from repro.evaluation.executor import execute
+from repro.evaluation.plan import build_plan
 from repro.nn.module import Module
-from repro.utils.rng import spawn_rngs, SeedLike
-from repro.variation.injector import VariationInjector
-from repro.variation.models import NoVariation, VariationModel
+from repro.utils.rng import SeedLike
 from repro.variation.spec import parse_spec, scale_to, VariationLike
 
 
@@ -129,95 +95,6 @@ class MCResult:
         return f"MCResult(mean={self.mean:.4f}, std={self.std:.4f}, n={len(self.accuracies)})"
 
 
-#: Per-worker state installed by :func:`_pool_init` — the executor
-#: initializer runs once per worker process, so the (potentially large)
-#: model and dataset cross the IPC boundary once per worker instead of
-#: once per task payload.
-_POOL_STATE: Dict[str, object] = {}
-
-
-def _resolve_analog_specs(model, variation) -> List[tuple]:
-    """``(layer, per-layer model, seeds_read_noise)`` triples for every
-    analog layer of ``model``, in traversal order.
-
-    Per-layer resolution mirrors ``analogize``: the layer's qualified name
-    and its position among the analog layers (the weighted-layer index of
-    the pre-conversion model when the whole model was converted) feed
-    ``variation.model_for``, so ``LayerMap`` scenarios target the same
-    layers in the analog and weight-domain protocols.
-
-    ``seeds_read_noise`` marks layers whose arrays actually model read
-    noise: seeding streams on a noiseless array is dead work (a
-    ``SeedSequence`` spawn per tile per draw), so the engines skip it —
-    consistently, keeping per-stream consumption identical everywhere.
-    """
-    layers = analog_layers(model)
-    return [
-        (
-            layer,
-            variation.model_for(name, index, len(layers)),
-            layer.models_read_noise,
-        )
-        for index, (name, layer) in enumerate(layers)
-    ]
-
-
-def _program_analog_draw(resolved, rng) -> None:
-    """Program one Monte-Carlo draw onto every analog layer.
-
-    ``rng`` is the draw's spawned stream; each layer consumes exactly one
-    63-bit value for its tile-programming spawn and (when its array models
-    read noise) one for its read-noise spawn, in traversal order.
-    ``program_batch``/``seed_read_noise_batch`` consume per-sample streams
-    identically, which is the whole analog paired-seed contract.
-    """
-    for layer, spec, seeds_read in resolved:
-        layer.program(spec, rng)
-        if seeds_read:
-            layer.seed_read_noise(rng)
-
-
-def _pool_init(model, variation, layers, masks, dataset, batch_size) -> None:
-    """Executor initializer: build this worker's injector and eval context.
-
-    The model, layer subset and masks travel in one pickle so object
-    identity between ``layers`` entries and modules inside ``model``
-    survives the round-trip. Analog models resolve their per-layer specs
-    here, against this worker's copy of the module tree.
-    """
-    _POOL_STATE["model"] = model
-    _POOL_STATE["dataset"] = dataset
-    _POOL_STATE["batch_size"] = batch_size
-    if analog_layers(model):
-        _POOL_STATE["analog"] = _resolve_analog_specs(model, variation)
-        _POOL_STATE["injector"] = None
-    else:
-        _POOL_STATE["analog"] = None
-        _POOL_STATE["injector"] = VariationInjector(model, variation, layers, masks)
-
-
-def _pool_worker(rngs) -> List[float]:
-    """Evaluate one contiguous chunk of samples with the reference loop.
-
-    Receives only the chunk's rng streams; everything else lives in
-    :data:`_POOL_STATE` since :func:`_pool_init`.
-    """
-    model = _POOL_STATE["model"]
-    dataset = _POOL_STATE["dataset"]
-    batch_size = _POOL_STATE["batch_size"]
-    accs = []
-    if _POOL_STATE["analog"] is not None:
-        for rng in rngs:
-            _program_analog_draw(_POOL_STATE["analog"], rng)
-            accs.append(accuracy(model, dataset, batch_size))
-        return accs
-    injector = _POOL_STATE["injector"]
-    for rng in rngs:
-        with injector.applied(rng):
-            accs.append(accuracy(model, dataset, batch_size))
-    return accs
-
-
 class MonteCarloEvaluator:
     """Evaluate a model's accuracy distribution under a variation model.
 
@@ -230,22 +107,31 @@ class MonteCarloEvaluator:
     seed:
         Root seed; sample ``i`` uses the i-th spawned stream.
     batch_size:
-        Data batch size per forward pass.
+        Data batch size per unstacked forward pass.
     vectorized:
         Evaluate all samples per data batch in one stacked-weight pass
         when the model supports it (see module docstring). Falls back to
-        the pool/loop engines otherwise.
+        the pool/loop backends otherwise.
     n_workers:
-        When > 1 (and the vectorized path is off or unsupported), fan the
-        reference loop out over a process pool of this size.
+        When > 1 (and the vectorized path is off or unsupported), shard
+        the samples over a process pool of this size; workers run stacked
+        chunks when the model supports them.
     sample_chunk:
-        Vectorized engine: samples evaluated per stacked pass, bounding
-        the memory of the stacked weights and activations.
+        Locality default for the stacked chunk size (samples evaluated
+        per stacked pass) when neither ``chunk_samples`` nor
+        ``memory_budget_mb`` is given.
+    chunk_samples:
+        Explicit stacked chunk size; wins over ``memory_budget_mb`` and
+        ``sample_chunk``. Results are bitwise independent of this knob.
+    memory_budget_mb:
+        Derive the chunk size from a peak-memory budget for stacked state
+        (see :func:`repro.evaluation.plan.estimate_sample_bytes`).
     data_block:
-        Vectorized engine: internal data-batch size. Per-image results do
-        not depend on batching, and stacked intermediates are S times
-        larger than ordinary activations, so the engine blocks data to
-        stay cache-resident instead of using ``batch_size``.
+        Internal data-batch size for stacked passes (and for every analog
+        sweep — read-noise streams advance per MVM call, so all analog
+        execution shares one blocking). Stacked intermediates are S times
+        larger than ordinary activations, so blocks stay cache-sized
+        instead of using ``batch_size``.
     """
 
     def __init__(
@@ -258,6 +144,8 @@ class MonteCarloEvaluator:
         n_workers: int = 0,
         sample_chunk: int = 16,
         data_block: int = 64,
+        chunk_samples: Optional[int] = None,
+        memory_budget_mb: Optional[float] = None,
     ) -> None:
         if n_samples <= 0:
             raise ValueError(f"n_samples must be positive, got {n_samples}")
@@ -267,6 +155,14 @@ class MonteCarloEvaluator:
             raise ValueError(f"sample_chunk must be positive, got {sample_chunk}")
         if data_block <= 0:
             raise ValueError(f"data_block must be positive, got {data_block}")
+        if chunk_samples is not None and chunk_samples <= 0:
+            raise ValueError(
+                f"chunk_samples must be positive, got {chunk_samples}"
+            )
+        if memory_budget_mb is not None and memory_budget_mb <= 0:
+            raise ValueError(
+                f"memory_budget_mb must be positive, got {memory_budget_mb}"
+            )
         self.dataset = dataset
         self.n_samples = n_samples
         self.seed = seed
@@ -275,6 +171,36 @@ class MonteCarloEvaluator:
         self.n_workers = n_workers
         self.sample_chunk = sample_chunk
         self.data_block = data_block
+        self.chunk_samples = chunk_samples
+        self.memory_budget_mb = memory_budget_mb
+
+    def plan(
+        self,
+        model: Module,
+        variation: "VariationLike",
+        layers: Optional[Sequence[Module]] = None,
+        protection_masks: Optional[Dict[str, np.ndarray]] = None,
+    ):
+        """The :class:`~repro.evaluation.plan.EvalPlan` this evaluator
+        would execute for ``model``/``variation`` — the introspectable
+        form of :meth:`evaluate`'s dispatch. The model must be in the mode
+        it will be evaluated in (``evaluate`` forces eval mode)."""
+        return build_plan(
+            model,
+            self.dataset,
+            variation,
+            n_samples=self.n_samples,
+            seed=self.seed,
+            batch_size=self.batch_size,
+            vectorized=self.vectorized,
+            n_workers=self.n_workers,
+            data_block=self.data_block,
+            default_chunk=self.sample_chunk,
+            chunk_samples=self.chunk_samples,
+            memory_budget_mb=self.memory_budget_mb,
+            layers=layers,
+            protection_masks=protection_masks,
+        )
 
     def evaluate(
         self,
@@ -289,186 +215,22 @@ class MonteCarloEvaluator:
         ``layers`` restricts injection to a layer subset (Fig. 9);
         ``protection_masks`` holds protected weights at nominal (baselines).
         A ``NoVariation`` model short-circuits to a single deterministic
-        evaluation. Engine choice (vectorized / pool / loop) follows the
-        module docstring; all three return paired results for a seed.
+        evaluation. Backend choice (vectorized / pool / loop) follows the
+        module docstring; all backends return paired results for a seed.
 
         Monte-Carlo evaluation is an eval-mode protocol, so the model is
         switched to eval mode up front (and restored afterwards) — this is
         also what lets eval-only sample-aware kernels (batch norm's affine
-        fold) qualify for the vectorized engine regardless of the mode the
+        fold) qualify for the stacked backends regardless of the mode the
         caller left the model in.
         """
-        variation = parse_spec(variation)
         was_training = model.training
         model.eval()
         try:
-            if analog_layers(model):
-                return self._evaluate_analog(
-                    model, variation, layers, protection_masks
-                )
-            if isinstance(variation, NoVariation) or variation.magnitude == 0.0:
-                acc = accuracy(model, self.dataset, self.batch_size)
-                return MCResult([acc])
-            injector = VariationInjector(model, variation, layers, protection_masks)
-            if self.vectorized and supports_sample_axis(model):
-                return self._evaluate_vectorized(model, injector)
-            if self.n_workers > 1:
-                return self._evaluate_pool(
-                    model, variation, layers, protection_masks
-                )
-            return self._evaluate_loop(model, injector)
+            plan = self.plan(model, variation, layers, protection_masks)
+            return execute(plan, model, self.dataset)
         finally:
             model.train(was_training)
-
-    # ------------------------------------------------------------------
-    # Engines
-    # ------------------------------------------------------------------
-    def _evaluate_loop(
-        self, model: Module, injector: VariationInjector
-    ) -> MCResult:
-        """Reference implementation: one forward sweep per sample."""
-        result = MCResult()
-        for rng in spawn_rngs(self.seed, self.n_samples):
-            with injector.applied(rng):
-                result.accuracies.append(
-                    accuracy(model, self.dataset, self.batch_size)
-                )
-        return result
-
-    def _evaluate_vectorized(
-        self, model: Module, injector: VariationInjector
-    ) -> MCResult:
-        """All samples per data batch via stacked weights (see module doc).
-
-        Perturbations are drawn chunk by chunk (slices of one spawned
-        stream list, so pairing is unaffected): peak memory holds
-        ``sample_chunk`` weight copies, not ``n_samples``.
-        """
-        rngs = spawn_rngs(self.seed, self.n_samples)
-        result = MCResult()
-        for start in range(0, self.n_samples, self.sample_chunk):
-            stop = min(start + self.sample_chunk, self.n_samples)
-            chunk = injector.stack_for(rngs[start:stop])
-            if not chunk:
-                # No target parameters (e.g. empty layer subset): every
-                # sample sees nominal weights, matching the loop.
-                acc = accuracy(model, self.dataset, self.batch_size)
-                return MCResult([acc] * self.n_samples)
-            with injector.applied_stack(chunk):
-                accs = stacked_accuracies(
-                    model, self.dataset, stop - start, self.data_block
-                )
-            result.accuracies.extend(float(a) for a in accs)
-        return result
-
-    def _evaluate_pool(
-        self,
-        model: Module,
-        variation: VariationModel,
-        layers: Optional[Sequence[Module]],
-        protection_masks: Optional[Dict[str, np.ndarray]],
-        batch_size: Optional[int] = None,
-    ) -> MCResult:
-        """Reference loop fanned out over worker processes, order-preserving."""
-        rngs = spawn_rngs(self.seed, self.n_samples)
-        n_workers = min(self.n_workers, self.n_samples)
-        chunk_size = -(-self.n_samples // n_workers)  # ceil division
-        chunks = [
-            rngs[start : start + chunk_size]
-            for start in range(0, self.n_samples, chunk_size)
-        ]
-        with ProcessPoolExecutor(
-            max_workers=n_workers,
-            initializer=_pool_init,
-            initargs=(
-                model,
-                variation,
-                None if layers is None else list(layers),
-                protection_masks,
-                self.dataset,
-                self.batch_size if batch_size is None else batch_size,
-            ),
-        ) as pool:
-            parts = list(pool.map(_pool_worker, chunks))
-        return MCResult([acc for part in parts for acc in part])
-
-    # ------------------------------------------------------------------
-    # Analog (crossbar-simulated) engines — see module docstring
-    # ------------------------------------------------------------------
-    def _evaluate_analog(
-        self,
-        model: Module,
-        variation: VariationModel,
-        layers: Optional[Sequence[Module]],
-        protection_masks: Optional[Dict[str, np.ndarray]],
-    ) -> MCResult:
-        """Dispatch an analogized model to the analog engine variants.
-
-        All analog engines run the dataset in ``data_block``-sized batches:
-        read-noise streams advance once per MVM call, so the engines must
-        present identical data batches to stay seed-paired — one blocking
-        for all of them makes that structural rather than coincidental.
-        """
-        if layers is not None or protection_masks:
-            raise ValueError(
-                "layers/protection_masks are weight-domain controls; an "
-                "analogized model applies variation at crossbar programming "
-                "time — express per-layer analog scenarios with a LayerMap "
-                "spec instead"
-            )
-        no_programming_variation = (
-            isinstance(variation, NoVariation) or variation.magnitude == 0.0
-        )
-        if no_programming_variation and not has_read_noise(model):
-            # Fully deterministic chip: a single evaluation of the state
-            # programmed at deployment, matching the weight-domain
-            # short-circuit. (With read noise every draw differs, so the
-            # full Monte-Carlo protocol below applies.)
-            return MCResult([accuracy(model, self.dataset, self.batch_size)])
-        resolved = _resolve_analog_specs(model, variation)
-        if self.vectorized and supports_sample_axis(model):
-            return self._evaluate_analog_vectorized(model, resolved)
-        if self.n_workers > 1:
-            return self._evaluate_pool(
-                model, variation, None, None, batch_size=self.data_block
-            )
-        return self._evaluate_analog_loop(model, resolved)
-
-    def _evaluate_analog_loop(self, model: Module, resolved) -> MCResult:
-        """Reference analog engine: reprogram + full forward sweep per draw."""
-        result = MCResult()
-        with preserved_programming(model):
-            for rng in spawn_rngs(self.seed, self.n_samples):
-                _program_analog_draw(resolved, rng)
-                result.accuracies.append(
-                    accuracy(model, self.dataset, self.data_block)
-                )
-        return result
-
-    def _evaluate_analog_vectorized(self, model: Module, resolved) -> MCResult:
-        """All samples per data batch via stacked conductance planes.
-
-        Chunk by chunk: every analog layer programs the chunk's draws as
-        stacked planes and installs per-sample read-noise streams, then one
-        stacked forward sweep evaluates the whole chunk. Per-stream seed
-        consumption matches the loop exactly — each ``program_batch`` /
-        ``seed_read_noise_batch`` call takes one draw per stream, in the
-        same layer order the loop interleaves per draw.
-        """
-        rngs = spawn_rngs(self.seed, self.n_samples)
-        result = MCResult()
-        with preserved_programming(model):
-            for start in range(0, self.n_samples, self.sample_chunk):
-                chunk = rngs[start : min(start + self.sample_chunk, self.n_samples)]
-                for layer, spec, seeds_read in resolved:
-                    layer.program_batch(spec, chunk)
-                    if seeds_read:
-                        layer.seed_read_noise_batch(chunk)
-                accs = stacked_accuracies(
-                    model, self.dataset, len(chunk), self.data_block
-                )
-                result.accuracies.extend(float(a) for a in accs)
-        return result
 
     # ------------------------------------------------------------------
     def sweep_sigma(

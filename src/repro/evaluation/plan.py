@@ -1,0 +1,266 @@
+"""Planning a Monte-Carlo evaluation: one ``EvalPlan`` drives every engine.
+
+Historically ``MonteCarloEvaluator`` grew six near-duplicate engine bodies
+(loop / vectorized / pool, each twice: weight-domain and analog), every one
+re-implementing the paired-seed protocol, the sample chunking and the data
+blocking on its own. This module factors the *decisions* out of the
+*execution*: :func:`build_plan` resolves a variation spec, the model's
+domain (weight vs analog), the execution backend, the seed schedule and a
+memory-bounded sample-chunking schedule into one immutable :class:`EvalPlan`,
+and ``repro.evaluation.executor`` runs any plan through one generic driver
+per backend. The paired-seed contract lives in exactly one place — the
+plan's ``draw_rngs`` schedule plus the model adapters' per-stream
+consumption — instead of six.
+
+Plan axes
+---------
+
+- **Domain / model adapter.** A model is either *weight-domain* (the
+  injector perturbs ``Parameter.data``; plain and compensated models) or
+  *analog* (variation applies at crossbar programming time). The adapter —
+  *how a chunk of draws is applied* — is the only thing that differs, so
+  analog evaluation is no longer a separate engine family.
+- **Backend.** ``loop`` (reference, one full sweep per draw),
+  ``vectorized`` (sample-stacked kernels, all draws of a chunk per data
+  batch) and ``pool`` (draws sharded over worker processes). Resolution
+  keeps the historical semantics: ``vectorized=True`` wins when the model
+  has sample-aware kernels throughout, else ``n_workers > 1`` selects the
+  pool, else the loop. Pool workers themselves run the **vectorized
+  stacked kernels over their shard's chunks** whenever the model supports
+  it (``worker_vectorized``) — the hybrid workers × stacked-S scale point
+  — and fall back to the per-draw loop otherwise.
+- **Seed schedule.** Draw ``i`` always consumes the ``i``-th stream of
+  ``spawn_rngs(seed, n_samples)`` regardless of backend, chunking or
+  worker sharding; chunks and shards are contiguous *slices* of that one
+  stream list, which is what makes every run bitwise-reproducible and
+  engine choice a pure performance knob.
+- **Sample chunking.** Stacked execution materializes per-draw state
+  (weight stacks or conductance planes) for a whole chunk at once;
+  ``chunk_samples`` bounds that, so arbitrarily large ``n_samples`` stream
+  through fixed memory with results bitwise identical to the unchunked
+  run (per-draw results never depend on chunk boundaries). The chunk size
+  may be given explicitly, derived from ``memory_budget_mb`` via
+  :func:`estimate_sample_bytes`, or defaulted.
+- **Data blocking.** Unstacked full sweeps use ``batch_size`` in the
+  weight domain and ``data_block`` for analog models (read-noise streams
+  advance per MVM call, so all analog execution must share one blocking);
+  stacked sweeps always use ``data_block`` (stacked intermediates are S
+  times larger, so blocks stay cache-sized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.evaluation.vectorized import supports_sample_axis
+from repro.hardware.analog_layers import analog_layers, has_read_noise
+from repro.nn.module import Module
+from repro.utils.rng import spawn_rngs, SeedLike
+from repro.variation.injector import VariationInjector
+from repro.variation.models import NoVariation, VariationModel
+from repro.variation.spec import parse_spec, VariationLike
+
+#: Conservative expansion factor from input elements to the largest stacked
+#: intermediate activation map of the supported models (LeNet/VGG-style
+#: first-conv maps expand the input by ~4-6x; 8 leaves headroom for the
+#: im2col gather of the widest layer). Used only to size memory-budgeted
+#: chunks — an overestimate just yields smaller chunks, never wrong results.
+STACKED_ACTIVATION_FACTOR = 8.0
+
+_BACKENDS = ("loop", "vectorized", "pool")
+
+
+@dataclass(frozen=True)
+class EvalPlan:
+    """Everything an executor needs to run one Monte-Carlo evaluation.
+
+    Immutable and model-free: the plan holds decisions (backend, schedule,
+    blocking), not state — executors build the model adapter themselves so
+    a plan can be executed in worker processes. ``deterministic`` plans
+    short-circuit to a single nominal evaluation (no variation to sample).
+    """
+
+    variation: VariationModel
+    n_samples: int
+    seed: SeedLike
+    domain: str  # "weight" | "analog"
+    backend: str  # "loop" | "vectorized" | "pool"
+    deterministic: bool = False
+    batch_size: int = 256
+    data_block: int = 64
+    chunk_samples: int = 16
+    n_workers: int = 0
+    #: Pool workers run stacked chunks instead of the per-draw loop.
+    worker_vectorized: bool = False
+    layers: Optional[Sequence[Module]] = None
+    protection_masks: Optional[Dict[str, np.ndarray]] = None
+
+    @property
+    def loop_batch(self) -> int:
+        """Data batch for unstacked full sweeps: analog models must keep
+        the shared ``data_block`` blocking (read-noise streams advance per
+        MVM call), weight-domain sweeps use the throughput batch size."""
+        return self.data_block if self.domain == "analog" else self.batch_size
+
+    def draw_rngs(self):
+        """The seed schedule: stream ``i`` feeds draw ``i``, everywhere."""
+        return spawn_rngs(self.seed, self.n_samples)
+
+    def chunks(self) -> Tuple[Tuple[int, int], ...]:
+        """Contiguous ``[start, stop)`` sample chunks for stacked passes."""
+        return tuple(
+            (start, min(start + self.chunk_samples, self.n_samples))
+            for start in range(0, self.n_samples, self.chunk_samples)
+        )
+
+    def worker_shards(self) -> Tuple[Tuple[int, int], ...]:
+        """Contiguous ``[start, stop)`` sample shards, one per pool task."""
+        n_workers = min(self.n_workers, self.n_samples)
+        size = -(-self.n_samples // n_workers)  # ceil division
+        return tuple(
+            (start, min(start + size, self.n_samples))
+            for start in range(0, self.n_samples, size)
+        )
+
+
+def estimate_sample_bytes(
+    model: Module,
+    dataset: ArrayDataset,
+    variation: VariationModel,
+    layers: Optional[Sequence[Module]] = None,
+    protection_masks: Optional[Dict[str, np.ndarray]] = None,
+    data_block: int = 64,
+) -> int:
+    """Estimated peak bytes one extra stacked sample costs.
+
+    Two terms, both float64:
+
+    - the per-draw parameter state a stacked chunk materializes — one
+      weight copy per target parameter (weight domain) or three
+      conductance planes per array (analog: ``g_pos``, ``g_neg`` and the
+      effective-difference cache);
+    - the stacked activations of one ``data_block``-sized data batch,
+      bounded by ``STACKED_ACTIVATION_FACTOR`` input-sized maps per image.
+
+    Deliberately conservative: sizing chunks from an overestimate only
+    costs chunk granularity, never correctness (chunking is bitwise).
+    """
+    analog = analog_layers(model)
+    if analog:
+        param_elems = sum(
+            3 * int(np.prod(layer.array.weights_shape)) for _, layer in analog
+        )
+    else:
+        injector = VariationInjector(model, variation, layers, protection_masks)
+        param_elems = sum(p.data.size for p in injector.target_parameters())
+    image_elems = int(np.prod(dataset.images.shape[1:]))
+    act_elems = int(data_block * image_elems * STACKED_ACTIVATION_FACTOR)
+    return 8 * (param_elems + act_elems)
+
+
+def resolve_chunk_samples(
+    n_samples: int,
+    default_chunk: int,
+    chunk_samples: Optional[int],
+    memory_budget_mb: Optional[float],
+    sample_bytes: int,
+) -> int:
+    """The effective stacked-chunk size.
+
+    Priority: an explicit ``chunk_samples`` wins, else ``memory_budget_mb``
+    divided by the per-sample estimate, else ``default_chunk``. Always at
+    least 1 (a budget below one sample's footprint degrades to
+    sample-by-sample streaming rather than failing) and never more than
+    ``n_samples``.
+    """
+    if chunk_samples is not None:
+        chunk = chunk_samples
+    elif memory_budget_mb is not None:
+        budget = int(memory_budget_mb * 1024 * 1024)
+        chunk = budget // max(sample_bytes, 1)
+    else:
+        chunk = default_chunk
+    return max(1, min(int(chunk), n_samples))
+
+
+def build_plan(
+    model: Module,
+    dataset: ArrayDataset,
+    variation: "VariationLike",
+    *,
+    n_samples: int,
+    seed: SeedLike,
+    batch_size: int = 256,
+    vectorized: bool = False,
+    n_workers: int = 0,
+    data_block: int = 64,
+    default_chunk: int = 16,
+    chunk_samples: Optional[int] = None,
+    memory_budget_mb: Optional[float] = None,
+    layers: Optional[Sequence[Module]] = None,
+    protection_masks: Optional[Dict[str, np.ndarray]] = None,
+    worker_vectorized: Optional[bool] = None,
+) -> EvalPlan:
+    """Resolve one Monte-Carlo evaluation into an :class:`EvalPlan`.
+
+    ``model`` must already be in the mode it will be evaluated in (the
+    evaluator forces eval mode first): backend eligibility via
+    ``supports_sample_axis`` is mode-dependent for batch norm.
+    ``worker_vectorized`` defaults to the model's stacked-kernel
+    eligibility; benchmarks pass ``False`` to time legacy per-draw pool
+    workers against the hybrid.
+    """
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be positive, got {n_samples}")
+    variation = parse_spec(variation)
+    analog = bool(analog_layers(model))
+    if analog and (layers is not None or protection_masks):
+        raise ValueError(
+            "layers/protection_masks are weight-domain controls; an "
+            "analogized model applies variation at crossbar programming "
+            "time — express per-layer analog scenarios with a LayerMap "
+            "spec instead"
+        )
+    domain = "analog" if analog else "weight"
+
+    no_variation = isinstance(variation, NoVariation) or variation.magnitude == 0.0
+    deterministic = no_variation and (not analog or not has_read_noise(model))
+
+    sample_aware = supports_sample_axis(model)
+    if vectorized and sample_aware:
+        backend = "vectorized"
+    elif n_workers > 1:
+        backend = "pool"
+    else:
+        backend = "loop"
+    if worker_vectorized is None:
+        worker_vectorized = sample_aware
+
+    chunk = resolve_chunk_samples(
+        n_samples,
+        default_chunk,
+        chunk_samples,
+        memory_budget_mb,
+        estimate_sample_bytes(
+            model, dataset, variation, layers, protection_masks, data_block
+        ),
+    )
+    return EvalPlan(
+        variation=variation,
+        n_samples=n_samples,
+        seed=seed,
+        domain=domain,
+        backend=backend,
+        deterministic=deterministic,
+        batch_size=batch_size,
+        data_block=data_block,
+        chunk_samples=chunk,
+        n_workers=n_workers,
+        worker_vectorized=bool(worker_vectorized),
+        layers=None if layers is None else list(layers),
+        protection_masks=protection_masks,
+    )

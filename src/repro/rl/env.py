@@ -81,7 +81,8 @@ class CompensationEnv:
             seed=eval_config.seed,
             vectorized=eval_config.vectorized,
             n_workers=eval_config.n_workers,
-            sample_chunk=eval_config.sample_chunk,
+            sample_chunk=eval_config.chunk_samples,
+            memory_budget_mb=eval_config.memory_budget_mb,
         )
         self._cache: Dict[Tuple[float, ...], EnvOutcome] = {}
 

@@ -11,6 +11,7 @@ them afterwards.
 """
 
 from repro.variation.models import (
+    ColumnCorrelatedVariation,
     GaussianVariation,
     LogNormalVariation,
     NoVariation,
@@ -42,6 +43,7 @@ __all__ = [
     "VariationModel",
     "LogNormalVariation",
     "GaussianVariation",
+    "ColumnCorrelatedVariation",
     "StateDependentVariation",
     "StuckAtFaults",
     "NoVariation",

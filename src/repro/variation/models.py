@@ -186,6 +186,51 @@ class GaussianVariation(VariationModel):
         return f"GaussianVariation(sigma={self.sigma})"
 
 
+class ColumnCorrelatedVariation(VariationModel):
+    """Multiplicative log-normal deviation shared per output column.
+
+    One ``theta ~ N(0, sigma^2)`` is drawn per *output unit* (axis 0 of the
+    weight array — an output neuron's row of ``(out, in)`` linear weights
+    or an ``(F, C, KH, KW)`` conv filter) and every weight feeding that
+    unit is scaled by the same ``exp(theta)``. This models effects that
+    are correlated along a crossbar's output line rather than i.i.d. per
+    cell: a bit-line's shared driver/sense-amp gain error, column-wise
+    programming-pulse skew, or per-ADC reference drift.
+
+    On a tiled crossbar the model perturbs each tile's sub-array with the
+    tile's own stream, so the correlation holds within a physical tile —
+    output lines split across row-tiles see independent draws per tile,
+    which is exactly what per-tile peripheral circuits produce.
+
+    Composes and sweeps like any registered spec (``colcorr:<sigma>``):
+    ``"lognormal:0.5+colcorr:0.1"`` draws the i.i.d. cell deviation first,
+    then the shared column factor, on one paired rng stream — so it rides
+    every Monte-Carlo backend, trainer, CLI and the crossbar simulator
+    unchanged.
+    """
+
+    def __init__(self, sigma: float) -> None:
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        self.sigma = float(sigma)
+
+    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.sigma == 0.0:
+            return weights
+        theta = rng.normal(0.0, self.sigma, size=weights.shape[0])
+        return weights * np.exp(theta).reshape((-1,) + (1,) * (weights.ndim - 1))
+
+    def scaled(self, factor: float) -> "ColumnCorrelatedVariation":
+        return ColumnCorrelatedVariation(self.sigma * factor)
+
+    @property
+    def magnitude(self) -> float:
+        return self.sigma
+
+    def __repr__(self) -> str:
+        return f"ColumnCorrelatedVariation(sigma={self.sigma})"
+
+
 class StateDependentVariation(VariationModel):
     """Variation whose strength grows with the programmed conductance state.
 

@@ -50,6 +50,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Type, Union
 import numpy as np
 
 from repro.variation.models import (
+    ColumnCorrelatedVariation,
     GaussianVariation,
     LogNormalVariation,
     NoVariation,
@@ -543,6 +544,7 @@ def scale_to(model: VariationModel, magnitude: float) -> VariationModel:
 register_model("none", NoVariation)
 register_model("lognormal", LogNormalVariation)
 register_model("gaussian", GaussianVariation)
+register_model("colcorr", ColumnCorrelatedVariation)
 register_model("statedep", StateDependentVariation)
 register_model("stuckat", StuckAtFaults)
 register_model("quant", LevelQuantization)

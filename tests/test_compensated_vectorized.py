@@ -30,16 +30,20 @@ class TestCompensatedEligibility:
         comp = CompensationPlan({0: 1.0, 1: 0.5}).apply(mlp, seed=1)
         assert supports_sample_axis(comp)
 
-    def test_vectorized_engine_actually_runs(self, lenet, tiny_test, monkeypatch):
-        """The evaluator must take the vectorized path for a compensated
+    def test_vectorized_backend_actually_runs(self, lenet, tiny_test, monkeypatch):
+        """The evaluator must take the vectorized backend for a compensated
         model — not silently fall back to the loop."""
+        from repro.evaluation import executor
+
         comp = _compensated_lenet(lenet)
         ev = MonteCarloEvaluator(tiny_test, n_samples=3, seed=0,
                                  vectorized=True)
+        comp.eval()
+        assert ev.plan(comp, LogNormalVariation(0.4)).backend == "vectorized"
         called = []
-        original = ev._evaluate_vectorized
+        original = executor._stacked_accuracies
         monkeypatch.setattr(
-            ev, "_evaluate_vectorized",
+            executor, "_stacked_accuracies",
             lambda *a, **k: called.append(True) or original(*a, **k),
         )
         ev.evaluate(comp, LogNormalVariation(0.4))

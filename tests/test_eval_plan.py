@@ -1,0 +1,229 @@
+"""Plan/executor architecture: plan building and chunked streaming.
+
+The tentpole contract: an :class:`EvalPlan` fully determines one
+Monte-Carlo evaluation, every backend executes the same plan bitwise-
+identically, and the sample-chunking schedule (``chunk_samples`` /
+``memory_budget_mb``) is a pure peak-memory knob — a chunked run's
+``MCResult`` equals the unchunked run's exactly, on every backend and for
+every model family (plain / compensated / analog), including chunk sizes
+that do not divide the sample count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compensation import CompensationPlan
+from repro.evaluation import (
+    accuracy,
+    build_plan,
+    estimate_sample_bytes,
+    MonteCarloEvaluator,
+)
+from repro.evaluation.plan import resolve_chunk_samples
+from repro.hardware import ADC, analog_layers, analogize, DAC
+from repro.variation import (
+    ColumnCorrelatedVariation,
+    LogNormalVariation,
+    NoVariation,
+    weighted_layers,
+)
+
+
+def _families(lenet, seed=1):
+    """(name, model, variation) triples covering the three model families.
+
+    Built lazily per test from a fresh ``lenet`` fixture; the analog
+    family deep-copies first since ``analogize`` converts in place.
+    """
+    import copy
+
+    plain = copy.deepcopy(lenet)
+    compensated = CompensationPlan({0: 1.0, 2: 0.5}).apply(
+        copy.deepcopy(lenet), seed=seed
+    )
+    analog = analogize(copy.deepcopy(lenet), tile_size=32, dac=DAC(6),
+                       adc=ADC(8), read_noise_sigma=0.002)
+    variation = LogNormalVariation(0.4) | ColumnCorrelatedVariation(0.1)
+    return [
+        ("plain", plain, variation),
+        ("compensated", compensated, variation),
+        ("analog", analog, variation),
+    ]
+
+
+class TestChunkedEquivalence:
+    """chunk_samples is bitwise-neutral on every backend x model family."""
+
+    N_SAMPLES = 5  # chunk 2 does not divide it: chunks (2, 2, 1)
+
+    @pytest.mark.parametrize("backend_kwargs", [
+        dict(vectorized=False),                 # loop
+        dict(vectorized=True),                  # vectorized
+        dict(vectorized=False, n_workers=2),    # pool (hybrid workers)
+    ], ids=["loop", "vectorized", "pool"])
+    def test_chunked_matches_unchunked(self, lenet, tiny_test, backend_kwargs):
+        for name, model, variation in _families(lenet):
+            unchunked = MonteCarloEvaluator(
+                tiny_test, n_samples=self.N_SAMPLES, seed=13,
+                chunk_samples=self.N_SAMPLES, **backend_kwargs,
+            ).evaluate(model, variation)
+            chunked = MonteCarloEvaluator(
+                tiny_test, n_samples=self.N_SAMPLES, seed=13,
+                chunk_samples=2, **backend_kwargs,
+            ).evaluate(model, variation)
+            assert chunked.accuracies == unchunked.accuracies, name
+            assert len(chunked.accuracies) == self.N_SAMPLES
+
+    def test_memory_budget_matches_explicit_chunks(self, lenet, tiny_test):
+        """A budget-derived schedule changes chunk sizes, never results."""
+        variation = LogNormalVariation(0.4)
+        wide = MonteCarloEvaluator(tiny_test, n_samples=4, seed=3,
+                                   vectorized=True, chunk_samples=4)
+        # A tiny budget degrades to sample-by-sample streaming (chunk 1).
+        tight = MonteCarloEvaluator(tiny_test, n_samples=4, seed=3,
+                                    vectorized=True, memory_budget_mb=0.001)
+        model = lenet
+        model.eval()
+        assert tight.plan(model, variation).chunk_samples == 1
+        assert (tight.evaluate(model, variation).accuracies
+                == wide.evaluate(model, variation).accuracies)
+
+    def test_cross_backend_pairing_with_chunking(self, lenet, tiny_test):
+        """All three backends agree under a non-dividing chunk size."""
+        for name, model, variation in _families(lenet):
+            results = [
+                MonteCarloEvaluator(tiny_test, n_samples=5, seed=21,
+                                    chunk_samples=3, **kwargs)
+                .evaluate(model, variation).accuracies
+                for kwargs in (dict(vectorized=False),
+                               dict(vectorized=True),
+                               dict(vectorized=False, n_workers=2))
+            ]
+            assert results[0] == results[1] == results[2], name
+
+
+class TestPlanBuilding:
+    def test_backend_resolution(self, lenet, tiny_test):
+        lenet.eval()
+        variation = LogNormalVariation(0.4)
+
+        def plan(**kwargs):
+            return build_plan(lenet, tiny_test, variation, n_samples=4,
+                              seed=0, **kwargs)
+
+        assert plan().backend == "loop"
+        assert plan(vectorized=True).backend == "vectorized"
+        assert plan(n_workers=2).backend == "pool"
+        # vectorized wins over the pool when both are requested
+        assert plan(vectorized=True, n_workers=2).backend == "vectorized"
+        # sample-aware model: pool workers run stacked chunks
+        assert plan(n_workers=2).worker_vectorized
+
+    def test_unsupported_model_falls_back(self, blob_dataset):
+        import repro.nn as nn
+
+        model = nn.Sequential(nn.Flatten(), nn.Linear(4, 3, seed=0),
+                              nn.Softmax(axis=1))
+        model.eval()
+        plan = build_plan(model, blob_dataset, LogNormalVariation(0.3),
+                          n_samples=3, seed=0, vectorized=True)
+        assert plan.backend == "loop"
+        pool_plan = build_plan(model, blob_dataset, LogNormalVariation(0.3),
+                               n_samples=3, seed=0, vectorized=True,
+                               n_workers=2)
+        assert pool_plan.backend == "pool"
+        assert not pool_plan.worker_vectorized
+
+    def test_deterministic_short_circuit(self, mlp, blob_dataset, lenet,
+                                         tiny_test):
+        mlp.eval()
+        assert build_plan(mlp, blob_dataset, NoVariation(), n_samples=9,
+                          seed=0).deterministic
+        assert build_plan(mlp, blob_dataset, LogNormalVariation(0.0),
+                          n_samples=9, seed=0).deterministic
+        # Analog with read noise: every draw differs even without
+        # programming variation, so the full protocol applies.
+        noisy = analogize(lenet, tile_size=32, read_noise_sigma=0.05)
+        noisy.eval()
+        assert not build_plan(noisy, tiny_test, NoVariation(), n_samples=3,
+                              seed=0).deterministic
+
+    def test_analog_rejects_weight_domain_controls(self, lenet, tiny_test):
+        analog = analogize(lenet, tile_size=32)
+        with pytest.raises(ValueError, match="LayerMap"):
+            build_plan(analog, tiny_test, LogNormalVariation(0.3),
+                       n_samples=2, seed=0, layers=[])
+        with pytest.raises(ValueError, match="LayerMap"):
+            MonteCarloEvaluator(tiny_test, n_samples=2).evaluate(
+                analog, LogNormalVariation(0.3),
+                protection_masks={"x": np.ones(1, dtype=bool)},
+            )
+
+    def test_chunk_and_shard_schedules(self, mlp, blob_dataset):
+        mlp.eval()
+        plan = build_plan(mlp, blob_dataset, LogNormalVariation(0.3),
+                          n_samples=7, seed=0, chunk_samples=3, n_workers=2)
+        assert plan.chunks() == ((0, 3), (3, 6), (6, 7))
+        assert plan.worker_shards() == ((0, 4), (4, 7))
+        # chunk never exceeds n_samples
+        big = build_plan(mlp, blob_dataset, LogNormalVariation(0.3),
+                         n_samples=4, seed=0, chunk_samples=100)
+        assert big.chunk_samples == 4
+
+    def test_resolve_chunk_priority(self):
+        # explicit chunk wins over budget; budget wins over default
+        assert resolve_chunk_samples(100, 16, 8, 1.0, 2**20) == 8
+        assert resolve_chunk_samples(100, 16, None, 4.0, 2**20) == 4
+        assert resolve_chunk_samples(100, 16, None, None, 2**20) == 16
+        # sub-sample budgets degrade to 1, never 0
+        assert resolve_chunk_samples(100, 16, None, 0.001, 2**20) == 1
+
+    def test_estimate_scales_with_targets(self, lenet, tiny_test):
+        lenet.eval()
+        all_bytes = estimate_sample_bytes(lenet, tiny_test,
+                                          LogNormalVariation(0.3))
+        subset = [weighted_layers(lenet)[0][1]]
+        subset_bytes = estimate_sample_bytes(lenet, tiny_test,
+                                             LogNormalVariation(0.3),
+                                             layers=subset)
+        assert all_bytes > subset_bytes > 0
+
+    def test_invalid_evaluator_knobs(self, blob_dataset):
+        with pytest.raises(ValueError):
+            MonteCarloEvaluator(blob_dataset, chunk_samples=0)
+        with pytest.raises(ValueError):
+            MonteCarloEvaluator(blob_dataset, memory_budget_mb=0.0)
+
+
+class TestPlanExecutionParity:
+    """The evaluator's public results still flow through plan/executor."""
+
+    def test_empty_layer_subset_replicates_nominal(self, mlp, blob_dataset):
+        ev = MonteCarloEvaluator(blob_dataset, n_samples=4, seed=0,
+                                 vectorized=True, chunk_samples=2)
+        result = ev.evaluate(mlp, LogNormalVariation(0.5), layers=[])
+        clean = accuracy(mlp, blob_dataset)
+        assert result.accuracies == [clean] * 4
+
+    def test_weights_restored_after_chunked_run(self, lenet, tiny_test):
+        before = {n: p.data.copy() for n, p in lenet.named_parameters()}
+        MonteCarloEvaluator(tiny_test, n_samples=5, seed=0, vectorized=True,
+                            chunk_samples=2).evaluate(
+            lenet, LogNormalVariation(0.5))
+        for name, param in lenet.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])
+
+    def test_programming_restored_after_chunked_pool(self, lenet, tiny_test):
+        analog = analogize(lenet, tile_size=32, read_noise_sigma=0.001)
+        tiles = [
+            tile
+            for _, layer in analog_layers(analog)
+            for row in layer.array.tiles for tile in row
+        ]
+        deployed = [(tile.g_pos.copy(), tile.g_neg.copy()) for tile in tiles]
+        MonteCarloEvaluator(tiny_test, n_samples=4, seed=0, n_workers=2,
+                            chunk_samples=3).evaluate(
+            analog, LogNormalVariation(0.3))
+        for (g_pos, g_neg), tile in zip(deployed, tiles):
+            np.testing.assert_array_equal(tile.g_pos, g_pos)
+            np.testing.assert_array_equal(tile.g_neg, g_neg)

@@ -5,8 +5,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.variation import (
-    GaussianVariation, LogNormalVariation, NoVariation,
-    StateDependentVariation, StuckAtFaults,
+    ColumnCorrelatedVariation, GaussianVariation, LogNormalVariation,
+    NoVariation, StateDependentVariation, StuckAtFaults,
 )
 
 
@@ -113,6 +113,51 @@ class TestStuckAt:
         assert (out <= 0).all()
 
 
+class TestColumnCorrelated:
+    def test_shared_multiplier_per_output_row(self):
+        """Every weight feeding one output unit (axis-0 slice) scales by
+        the same factor; different units draw independent factors."""
+        w = np.random.default_rng(0).normal(size=(6, 5)) + 3.0
+        out = ColumnCorrelatedVariation(0.4).perturb(
+            w, np.random.default_rng(7))
+        factors = out / w
+        per_row = factors.mean(axis=1)
+        np.testing.assert_allclose(
+            factors, np.broadcast_to(per_row[:, None], factors.shape),
+            rtol=1e-12)
+        assert np.unique(np.round(per_row, 12)).size == 6
+
+    def test_conv_weight_shares_per_filter(self):
+        w = np.random.default_rng(1).normal(size=(4, 3, 2, 2)) + 2.0
+        out = ColumnCorrelatedVariation(0.3).perturb(
+            w, np.random.default_rng(8))
+        factors = (out / w).reshape(4, -1)
+        np.testing.assert_allclose(
+            factors, np.broadcast_to(factors[:, :1], factors.shape),
+            rtol=1e-12)
+
+    def test_consumes_one_draw_per_output(self):
+        """rng consumption is shape[0] normals — the paired-seed unit the
+        engines rely on (same stream state afterwards, every engine)."""
+        w = np.ones((5, 7))
+        a, b = np.random.default_rng(3), np.random.default_rng(3)
+        ColumnCorrelatedVariation(0.5).perturb(w, a)
+        b.normal(0.0, 0.5, size=5)
+        assert a.integers(2**63) == b.integers(2**63)
+
+    def test_sigma_zero_identity_and_validation(self):
+        w = np.random.default_rng(0).normal(size=(3, 3))
+        assert ColumnCorrelatedVariation(0.0).perturb(
+            w, np.random.default_rng(1)) is w
+        with pytest.raises(ValueError):
+            ColumnCorrelatedVariation(-0.1)
+
+    def test_scaled_and_magnitude(self):
+        assert ColumnCorrelatedVariation(0.2).scaled(2.0).sigma == \
+            pytest.approx(0.4)
+        assert ColumnCorrelatedVariation(0.2).magnitude == 0.2
+
+
 class TestNoVariation:
     def test_identity_and_magnitude(self):
         w = np.random.default_rng(0).normal(size=(3, 3))
@@ -125,6 +170,7 @@ class TestDeterminism:
     @pytest.mark.parametrize("model", [
         LogNormalVariation(0.5),
         GaussianVariation(0.3),
+        ColumnCorrelatedVariation(0.4),
         StateDependentVariation(0.1, 0.5),
         StuckAtFaults(0.1, 0.1),
     ])

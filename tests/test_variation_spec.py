@@ -8,6 +8,7 @@ import pytest
 
 from repro.evaluation.montecarlo import MonteCarloEvaluator
 from repro.variation import (
+    ColumnCorrelatedVariation,
     Compose,
     ConductanceDrift,
     GaussianVariation,
@@ -34,6 +35,7 @@ ALL_LEAVES = [
     NoVariation(),
     LogNormalVariation(0.5),
     GaussianVariation(0.2),
+    ColumnCorrelatedVariation(0.15),
     StateDependentVariation(0.1, 0.4),
     StuckAtFaults(0.01, 0.02),
     LevelQuantization(4),
@@ -411,6 +413,40 @@ class TestEnginePairing:
         as_dict = ev.evaluate(
             mlp, to_dict(LogNormalVariation(0.5) | LevelQuantization(4)))
         assert as_string.accuracies == as_model.accuracies == as_dict.accuracies
+
+    def test_colcorr_composes_through_every_engine(self, lenet, tiny_test):
+        """The correlated per-column model (grammar: colcorr) rides the
+        loop, vectorized and pool backends bitwise-paired, composed with
+        the paper's i.i.d. model."""
+        spec = "lognormal:0.4+colcorr:0.15"
+        results = [
+            MonteCarloEvaluator(tiny_test, n_samples=4, seed=17, **kwargs)
+            .evaluate(lenet, spec).accuracies
+            for kwargs in (dict(vectorized=False),
+                           dict(vectorized=True, sample_chunk=3),
+                           dict(vectorized=False, n_workers=2))
+        ]
+        assert results[0] == results[1] == results[2]
+
+    def test_colcorr_grammar_round_trip(self):
+        spec = parse_spec("colcorr:0.25")
+        assert spec == ColumnCorrelatedVariation(0.25)
+        assert to_string(LogNormalVariation(0.5) | spec) == \
+            "lognormal:0.5+colcorr:0.25"
+
+    def test_colcorr_analog_programming_pairs(self, mlp, blob_dataset):
+        """colcorr applies at crossbar programming time too: the stacked
+        analog backend stays paired with the per-draw loop."""
+        from repro.hardware import analogize
+
+        model = analogize(mlp, tile_size=8)
+        spec = "lognormal:0.3+colcorr:0.1"
+        loop = MonteCarloEvaluator(blob_dataset, n_samples=3, seed=5,
+                                   vectorized=False)
+        vec = MonteCarloEvaluator(blob_dataset, n_samples=3, seed=5,
+                                  vectorized=True, sample_chunk=2)
+        assert loop.evaluate(model, spec).accuracies == \
+            vec.evaluate(model, spec).accuracies
 
     def test_sweep_is_spec_scaling(self, mlp, blob_dataset):
         spec = parse_spec("lognormal:0.5+drift:1e4")
