@@ -27,6 +27,10 @@ setup(
     license="MIT",
     package_dir={"": "src"},
     packages=find_packages("src"),
+    # PEP 561: the py.typed marker tells type checkers the inline
+    # annotations are the package's public typing interface.
+    package_data={"repro": ["py.typed"]},
+    zip_safe=False,
     python_requires=">=3.9",
     install_requires=["numpy"],
     extras_require={
@@ -34,6 +38,8 @@ setup(
         # pytest-timeout is present; the plugin is optional so the bare
         # environment can still run the suite.
         "test": ["pytest", "pytest-timeout"],
+        # The strict-typing gate (CI's lint job); not needed at runtime.
+        "typecheck": ["mypy"],
     },
     entry_points={
         "console_scripts": [
@@ -41,6 +47,7 @@ setup(
             "correctnet-train=repro.cli:train_main",
             "correctnet-eval=repro.cli:eval_main",
             "correctnet-search=repro.cli:search_main",
+            "correctnet-lint=repro.lint.cli:main",
         ],
     },
     classifiers=[

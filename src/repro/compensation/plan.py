@@ -20,7 +20,7 @@ from repro.compensation.wrappers import (
 )
 from repro.nn.layers import Conv2d, Linear, Sequential
 from repro.nn.module import Module
-from repro.utils.rng import SeedLike
+from repro.utils.rng import SeedLike, spawn_rngs
 from repro.variation.injector import weighted_layers
 
 
@@ -65,6 +65,10 @@ class CompensationPlan:
             return copy.deepcopy(model)
         compensated = copy.deepcopy(model)
         layers = weighted_layers(compensated)
+        # One child stream per weighted layer, indexed by layer position, so
+        # a layer's compensation seed does not depend on which other layers
+        # the plan happens to compensate.
+        streams = None if seed is None else spawn_rngs(seed, len(layers))
         for offset, index in enumerate(sorted(self.ratios)):
             if index < 0 or index >= len(layers):
                 raise IndexError(
@@ -74,7 +78,7 @@ class CompensationPlan:
             name, layer = layers[index]
             ratio = self.ratios[index]
             m = self.filters_for(layer, ratio)
-            layer_seed = None if seed is None else hash((seed, index)) % 2**31
+            layer_seed = None if streams is None else streams[index]
             if isinstance(layer, Conv2d):
                 wrapper: Module = CompensatedConv2d(layer, m, seed=layer_seed)
             else:

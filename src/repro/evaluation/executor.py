@@ -37,9 +37,21 @@ from __future__ import annotations
 
 import contextlib
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    ContextManager,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Union,
+    cast,
+)
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.data.dataset import ArrayDataset
 from repro.evaluation.metrics import accuracy
@@ -53,6 +65,9 @@ from repro.nn.module import Module
 from repro.variation.injector import VariationInjector
 from repro.variation.models import VariationModel
 
+if TYPE_CHECKING:
+    from repro.evaluation.montecarlo import MCResult
+
 
 # ---------------------------------------------------------------------------
 # Model adapters
@@ -65,7 +80,7 @@ class WeightAdapter:
         model: Module,
         variation: VariationModel,
         layers: Optional[Sequence[Module]] = None,
-        protection_masks: Optional[Dict[str, np.ndarray]] = None,
+        protection_masks: Optional[Dict[str, npt.NDArray[Any]]] = None,
     ) -> None:
         self.model = model
         self.injector = VariationInjector(model, variation, layers, protection_masks)
@@ -76,15 +91,15 @@ class WeightAdapter:
         subset): every draw then sees nominal weights."""
         return bool(self.injector.target_parameters())
 
-    def run_context(self):
+    def run_context(self) -> ContextManager[None]:
         """Weight restoration is per-application, so nothing run-scoped."""
         return contextlib.nullcontext()
 
-    def apply_draw(self, rng):
+    def apply_draw(self, rng: np.random.Generator) -> ContextManager[object]:
         return self.injector.applied(rng)
 
     @contextlib.contextmanager
-    def apply_chunk(self, rngs) -> Iterator[None]:
+    def apply_chunk(self, rngs: Sequence[np.random.Generator]) -> Iterator[None]:
         with self.injector.applied_stack(self.injector.stack_for(rngs)):
             yield
 
@@ -115,12 +130,12 @@ class AnalogAdapter:
 
     has_targets = True  # an analog model always has arrays to program
 
-    def run_context(self):
+    def run_context(self) -> ContextManager[object]:
         """Snapshot the deployed chip state around the whole run."""
         return preserved_programming(self.model)
 
     @contextlib.contextmanager
-    def apply_draw(self, rng) -> Iterator[None]:
+    def apply_draw(self, rng: np.random.Generator) -> Iterator[None]:
         for layer, spec, seeds_read in self.resolved:
             layer.program(spec, rng)
             if seeds_read:
@@ -128,7 +143,7 @@ class AnalogAdapter:
         yield
 
     @contextlib.contextmanager
-    def apply_chunk(self, rngs) -> Iterator[None]:
+    def apply_chunk(self, rngs: Sequence[np.random.Generator]) -> Iterator[None]:
         for layer, spec, seeds_read in self.resolved:
             layer.program_batch(spec, rngs)
             if seeds_read:
@@ -136,7 +151,12 @@ class AnalogAdapter:
         yield
 
 
-def make_adapter(model: Module, plan: EvalPlan):
+#: What the backends program against: the one seam between "how a draw is
+#: applied" and "how draws are scheduled".
+ModelAdapter = Union[WeightAdapter, AnalogAdapter]
+
+
+def make_adapter(model: Module, plan: EvalPlan) -> ModelAdapter:
     """The adapter matching the plan's domain, bound to ``model``."""
     if plan.domain == "analog":
         return AnalogAdapter(model, plan.variation)
@@ -146,16 +166,28 @@ def make_adapter(model: Module, plan: EvalPlan):
 # ---------------------------------------------------------------------------
 # Backends
 # ---------------------------------------------------------------------------
-def _loop_accuracies(model, dataset, adapter, plan: EvalPlan, rngs) -> List[float]:
+def _loop_accuracies(
+    model: Module,
+    dataset: ArrayDataset,
+    adapter: ModelAdapter,
+    plan: EvalPlan,
+    rngs: Sequence[np.random.Generator],
+) -> List[float]:
     """Reference execution: one full forward sweep per draw."""
-    accs = []
+    accs: List[float] = []
     for rng in rngs:
         with adapter.apply_draw(rng):
             accs.append(accuracy(model, dataset, plan.loop_batch))
     return accs
 
 
-def _stacked_accuracies(model, dataset, adapter, plan: EvalPlan, rngs) -> List[float]:
+def _stacked_accuracies(
+    model: Module,
+    dataset: ArrayDataset,
+    adapter: ModelAdapter,
+    plan: EvalPlan,
+    rngs: Sequence[np.random.Generator],
+) -> List[float]:
     """Stacked execution of ``rngs`` in ``chunk_samples``-sized chunks.
 
     Chunks are slices of the caller's stream list, so pairing — and the
@@ -175,7 +207,7 @@ def _stacked_accuracies(model, dataset, adapter, plan: EvalPlan, rngs) -> List[f
 #: initializer runs once per worker process, so the (potentially large)
 #: model and dataset cross the IPC boundary once per worker instead of
 #: once per task payload.
-_POOL_STATE: Dict[str, object] = {}
+_POOL_STATE: Dict[str, Any] = {}
 
 
 def _pool_init(model: Module, dataset: ArrayDataset, plan: EvalPlan) -> None:
@@ -193,7 +225,7 @@ def _pool_init(model: Module, dataset: ArrayDataset, plan: EvalPlan) -> None:
     _POOL_STATE["adapter"] = make_adapter(model, plan)
 
 
-def _pool_worker(rngs) -> List[float]:
+def _pool_worker(rngs: Sequence[np.random.Generator]) -> List[float]:
     """Evaluate one contiguous shard of draws.
 
     Receives only the shard's rng streams; everything else lives in
@@ -201,17 +233,17 @@ def _pool_worker(rngs) -> List[float]:
     chunk by chunk when the plan allows (hybrid pool x vectorized), else
     the per-draw reference loop.
     """
-    model = _POOL_STATE["model"]
-    dataset = _POOL_STATE["dataset"]
-    plan = _POOL_STATE["plan"]
-    adapter = _POOL_STATE["adapter"]
+    model = cast(Module, _POOL_STATE["model"])
+    dataset = cast(ArrayDataset, _POOL_STATE["dataset"])
+    plan = cast(EvalPlan, _POOL_STATE["plan"])
+    adapter = cast(ModelAdapter, _POOL_STATE["adapter"])
     with adapter.run_context():
         if plan.worker_vectorized and adapter.has_targets:
             return _stacked_accuracies(model, dataset, adapter, plan, rngs)
         return _loop_accuracies(model, dataset, adapter, plan, rngs)
 
 
-def _run_pool(plan: EvalPlan, model: Module, dataset: ArrayDataset):
+def _run_pool(plan: EvalPlan, model: Module, dataset: ArrayDataset) -> "MCResult":
     """Fan the plan's shards out over worker processes, order-preserving."""
     from repro.evaluation.montecarlo import MCResult
 
@@ -231,7 +263,7 @@ def _run_pool(plan: EvalPlan, model: Module, dataset: ArrayDataset):
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
-def execute(plan: EvalPlan, model: Module, dataset: ArrayDataset):
+def execute(plan: EvalPlan, model: Module, dataset: ArrayDataset) -> "MCResult":
     """Run ``plan`` against ``model``/``dataset``; returns an ``MCResult``.
 
     The model must be in the mode the plan was built against (the

@@ -51,9 +51,10 @@ Plan axes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.data.dataset import ArrayDataset
 from repro.evaluation.vectorized import supports_sample_axis
@@ -97,7 +98,7 @@ class EvalPlan:
     #: Pool workers run stacked chunks instead of the per-draw loop.
     worker_vectorized: bool = False
     layers: Optional[Sequence[Module]] = None
-    protection_masks: Optional[Dict[str, np.ndarray]] = None
+    protection_masks: Optional[Dict[str, npt.NDArray[Any]]] = None
 
     @property
     def loop_batch(self) -> int:
@@ -106,7 +107,7 @@ class EvalPlan:
         MVM call), weight-domain sweeps use the throughput batch size."""
         return self.data_block if self.domain == "analog" else self.batch_size
 
-    def draw_rngs(self):
+    def draw_rngs(self) -> List[np.random.Generator]:
         """The seed schedule: stream ``i`` feeds draw ``i``, everywhere."""
         return spawn_rngs(self.seed, self.n_samples)
 
@@ -132,7 +133,7 @@ def estimate_sample_bytes(
     dataset: ArrayDataset,
     variation: VariationModel,
     layers: Optional[Sequence[Module]] = None,
-    protection_masks: Optional[Dict[str, np.ndarray]] = None,
+    protection_masks: Optional[Dict[str, npt.NDArray[Any]]] = None,
     data_block: int = 64,
 ) -> int:
     """Estimated peak bytes one extra stacked sample costs.
@@ -202,7 +203,7 @@ def build_plan(
     chunk_samples: Optional[int] = None,
     memory_budget_mb: Optional[float] = None,
     layers: Optional[Sequence[Module]] = None,
-    protection_masks: Optional[Dict[str, np.ndarray]] = None,
+    protection_masks: Optional[Dict[str, npt.NDArray[Any]]] = None,
     worker_vectorized: Optional[bool] = None,
 ) -> EvalPlan:
     """Resolve one Monte-Carlo evaluation into an :class:`EvalPlan`.
@@ -216,7 +217,7 @@ def build_plan(
     """
     if n_samples <= 0:
         raise ValueError(f"n_samples must be positive, got {n_samples}")
-    variation = parse_spec(variation)
+    resolved = parse_spec(variation)
     analog = bool(analog_layers(model))
     if analog and (layers is not None or protection_masks):
         raise ValueError(
@@ -227,7 +228,7 @@ def build_plan(
         )
     domain = "analog" if analog else "weight"
 
-    no_variation = isinstance(variation, NoVariation) or variation.magnitude == 0.0
+    no_variation = isinstance(resolved, NoVariation) or resolved.magnitude == 0.0
     deterministic = no_variation and (not analog or not has_read_noise(model))
 
     sample_aware = supports_sample_axis(model)
@@ -246,11 +247,11 @@ def build_plan(
         chunk_samples,
         memory_budget_mb,
         estimate_sample_bytes(
-            model, dataset, variation, layers, protection_masks, data_block
+            model, dataset, resolved, layers, protection_masks, data_block
         ),
     )
     return EvalPlan(
-        variation=variation,
+        variation=resolved,
         n_samples=n_samples,
         seed=seed,
         domain=domain,

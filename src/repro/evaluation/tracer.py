@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.autograd import Tensor, no_grad
 from repro.nn.module import Module
-from repro.utils.rng import SeedLike
+from repro.utils.rng import SeedLike, spawn_rngs
 from repro.variation.injector import VariationInjector, weighted_layers
 from repro.variation.models import VariationModel
 
@@ -99,8 +99,9 @@ class ErrorPropagationTracer:
     ) -> List[float]:
         """Mean relative error per layer over several variation draws."""
         sums: Optional[np.ndarray] = None
+        rngs = None if seed is None else spawn_rngs(seed, n_samples)
         for i in range(n_samples):
-            devs = self.trace(x, variation, seed=None if seed is None else hash((seed, i)) % 2**31)
+            devs = self.trace(x, variation, seed=None if rngs is None else rngs[i])
             errs = np.array([d.relative_error for d in devs])
             sums = errs if sums is None else sums + errs
         assert sums is not None

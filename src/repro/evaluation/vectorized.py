@@ -4,29 +4,31 @@ The vectorized Monte-Carlo engine installs sample-stacked weights
 (``(S, *shape)`` per parameter) and runs one forward pass per data batch
 for all S variation samples at once. That only works when every module in
 the tree propagates the leading sample axis correctly, so eligibility is
-decided by an explicit whitelist rather than by trying and hoping:
-:func:`supports_sample_axis` admits exactly the layer types whose stacked
-semantics are covered by the kernel tests, plus containers that delegate
-to sample-aware children. Two container forms are admitted:
+decided by explicit declaration rather than by trying and hoping:
+:func:`supports_sample_axis` admits a module when its class declares
+``sample_aware`` truthy *and* all of its children do too. The
+declaration takes three forms (``reprolint``'s AXS001 rule enforces that
+every layer-library ``Module`` subclass picks one):
 
-- ``Sequential`` and model classes declaring ``sample_aware = True``
-  whose forward purely delegates (``MLP``, ``LeNet5``, ``VGG``);
-- composite modules declaring ``sample_aware = True`` whose forward
-  *does its own sample-aware math* on top of the children — the
-  compensation wrappers (``CompensatedConv2d`` / ``CompensatedLinear``)
-  handle stacked activations around their digital generator/compensator,
-  so compensated models ride this engine instead of the loop (the RL
-  search reward of ``repro.rl.env`` depends on this).
-
-Batch norm is admitted **in eval mode only**: its eval forward is an
-affine per-channel fold over running statistics that broadcasts over a
-leading sample axis (see ``repro.nn.batchnorm``), while its training
-forward computes batch statistics whose axes a stacked layout would
-corrupt. The Monte-Carlo evaluator forces eval mode before dispatching,
-so batch-norm models (the VGG ``batch_norm=True`` path) ride the
-vectorized engine; the stacked-training path of
-``repro.core.training.Trainer`` sees ``training=True`` and correctly
-falls back to the sequential loop.
+- leaves set a class attribute (``Linear``, ``Conv2d``, activations,
+  pooling, ``Flatten``, ``Identity``, ``Dropout``, the analog layers);
+- mode- or config-dependent modules compute it: ``Softmax`` sets an
+  instance attribute (only the trailing class axis is layout-safe) and
+  batch norm exposes a property that is true **in eval mode only** — its
+  eval forward is an affine per-channel fold that broadcasts over a
+  sample axis, while its training forward computes batch statistics
+  whose axes a stacked layout would corrupt. The Monte-Carlo evaluator
+  forces eval mode before dispatching, so batch-norm models ride the
+  vectorized engine; the stacked-training path of
+  ``repro.core.training.Trainer`` sees ``training=True`` and correctly
+  falls back to the sequential loop;
+- containers and composite modules declare ``sample_aware = True`` when
+  their forward purely delegates (``Sequential``, ``MLP``, ``LeNet5``,
+  ``VGG``) or does its own stacked-layout-aware math on top of the
+  children — the compensation wrappers (``CompensatedConv2d`` /
+  ``CompensatedLinear``) handle stacked activations around their digital
+  generator/compensator, so compensated models ride this engine instead
+  of the loop (the RL search reward of ``repro.rl.env`` depends on this).
 
 The analog crossbar layers (``AnalogLinear`` / ``AnalogConv2d``) are
 sample-aware leaves too: their forwards broadcast the whole DAC → MAC →
@@ -57,17 +59,15 @@ from repro.nn.layers import (
     Linear,
     MaxPool2d,
     ReLU,
-    Sequential,
     Sigmoid,
-    Softmax,
     Tanh,
 )
-from repro.nn.batchnorm import _BatchNorm
 from repro.nn.module import Module
 
 #: Leaf modules whose forward is elementwise, shape-agnostic, or explicitly
 #: sample-aware (stacked-weight matmul/conv, 5-D pooling, sample-preserving
-#: flatten). Dropout is a no-op in eval mode and elementwise otherwise.
+#: flatten). Kept for introspection/back-compat; eligibility itself is
+#: attribute-driven — these classes all declare ``sample_aware = True``.
 SAMPLE_AWARE_LEAVES = (
     Linear,
     Conv2d,
@@ -85,25 +85,15 @@ SAMPLE_AWARE_LEAVES = (
 def supports_sample_axis(module: Module) -> bool:
     """True when every module in the tree handles a leading sample axis.
 
-    Containers are admitted when all their children are: ``Sequential``
-    always delegates, and composite modules opt in with a
-    ``sample_aware = True`` class attribute — either pure delegators
-    (``MLP``, ``LeNet5``, ``VGG``) or modules whose own forward math is
-    stacked-layout-aware (the compensation wrappers).
+    Entirely attribute-driven: a module is admitted when its
+    ``sample_aware`` declaration (class attribute, instance attribute, or
+    property — see the module docstring) is truthy and every child is
+    admitted too. No declaration means not admitted: falling back to the
+    loop engine is always correct, just slower.
     """
-    if isinstance(module, Softmax):
-        # Only the trailing class axis is sample-safe; axis 1 of a stacked
-        # (S, N, K) activation would normalize over the batch.
-        return module.axis == -1
-    if isinstance(module, _BatchNorm):
-        # The eval-mode affine fold broadcasts over a sample axis; the
-        # training-mode batch statistics do not (see repro.nn.batchnorm).
-        return not module.training
-    if isinstance(module, SAMPLE_AWARE_LEAVES):
-        return True
-    if isinstance(module, Sequential) or getattr(module, "sample_aware", False):
-        return all(supports_sample_axis(child) for child in module.children())
-    return False
+    if not getattr(module, "sample_aware", False):
+        return False
+    return all(supports_sample_axis(child) for child in module.children())
 
 
 def stacked_accuracies(

@@ -215,7 +215,7 @@ class AnalogConv2d(_AnalogBase):
         )
 
 
-def analog_layers(model: Module) -> List[Tuple[str, Module]]:
+def analog_layers(model: Module) -> List[Tuple[str, _AnalogBase]]:
     """Ordered ``(qualified-name, module)`` list of analog layers.
 
     ``analogize`` replaces layers in place, so the traversal order — and

@@ -1,0 +1,32 @@
+"""``repro.lint`` — the repo-contract static-analysis suite (reprolint).
+
+Run it as ``python -m repro.lint [paths...]`` or via the
+``correctnet-lint`` console script. See ``docs/CONTRACTS.md`` for the
+rule catalogue and the historical bugs each rule encodes.
+"""
+
+from __future__ import annotations
+
+from repro.lint.cli import main
+from repro.lint.engine import (
+    LintContext,
+    Report,
+    Rule,
+    SourceFile,
+    Violation,
+    collect_files,
+    run_lint,
+)
+from repro.lint.rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "LintContext",
+    "Report",
+    "Rule",
+    "SourceFile",
+    "Violation",
+    "collect_files",
+    "main",
+    "run_lint",
+]

@@ -1,0 +1,85 @@
+"""Command-line front end: ``python -m repro.lint`` / ``correctnet-lint``.
+
+Exit codes: 0 clean, 1 violations found, 2 usage or parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import run_lint
+from repro.lint.rules import ALL_RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="correctnet-lint",
+        description=(
+            "reprolint: AST checks for this repo's contracts (RNG "
+            "discipline, engine determinism, sample-axis conventions, "
+            "spec-registry completeness, hygiene)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the active rules and exit",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        default=None,
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    rules = [cls() for cls in ALL_RULES]
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id}  {rule.name}: {rule.summary}")
+        return 0
+
+    if args.select is not None:
+        wanted = {part.strip() for part in args.select.split(",") if part.strip()}
+        unknown = wanted - {rule.id for rule in rules}
+        if unknown:
+            print(
+                f"correctnet-lint: unknown rule id(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [rule for rule in rules if rule.id in wanted]
+
+    paths: List[Path] = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for path in missing:
+            print(f"correctnet-lint: no such path: {path}", file=sys.stderr)
+        return 2
+
+    report, errors = run_lint(paths, rules=rules)
+    for violation in report.violations:
+        print(violation.format())
+    for error in errors:
+        print(f"correctnet-lint: parse error: {error}", file=sys.stderr)
+    print(report.summary())
+    if errors:
+        return 2
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -37,6 +37,13 @@ class _BatchNorm(Module):
         self.register_buffer("running_mean", np.zeros(num_features))
         self.register_buffer("running_var", np.ones(num_features))
 
+    @property
+    def sample_aware(self) -> bool:
+        # Eval mode is a per-channel affine fold that broadcasts over a
+        # stacked sample axis; training mode computes batch statistics and
+        # only understands the ordinary layouts (see module docstring).
+        return not self.training
+
     def _axes(self, x: Tensor):
         raise NotImplementedError
 

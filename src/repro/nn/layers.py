@@ -19,6 +19,10 @@ class Linear(Module):
     stores, so linear layers map one-to-one onto the hardware simulator.
     """
 
+    #: ``x @ W.T`` batches over every leading axis, so a stacked
+    #: ``(S, N, in)`` activation broadcasts correctly.
+    sample_aware = True
+
     def __init__(
         self,
         in_features: int,
@@ -52,6 +56,9 @@ class Linear(Module):
 
 class Conv2d(Module):
     """2-D convolution with weight shape (out_channels, in_channels, KH, KW)."""
+
+    #: ``F.conv2d`` folds a 5-D stacked input into the batch axis itself.
+    sample_aware = True
 
     def __init__(
         self,
@@ -98,16 +105,22 @@ class Conv2d(Module):
 class ReLU(Module):
     """Rectified linear unit. 1-Lipschitz, hence 'free' for eq. (5)."""
 
+    sample_aware = True  # elementwise: rank-agnostic
+
     def forward(self, x: Tensor) -> Tensor:
         return x.relu()
 
 
 class Tanh(Module):
+    sample_aware = True  # elementwise: rank-agnostic
+
     def forward(self, x: Tensor) -> Tensor:
         return x.tanh()
 
 
 class Sigmoid(Module):
+    sample_aware = True  # elementwise: rank-agnostic
+
     def forward(self, x: Tensor) -> Tensor:
         return x.sigmoid()
 
@@ -116,12 +129,19 @@ class Softmax(Module):
     def __init__(self, axis: int = -1) -> None:
         super().__init__()
         self.axis = axis
+        # Only the last-axis reduction is layout-independent: any other
+        # axis index means something different once a sample axis is
+        # stacked in front.
+        self.sample_aware = axis == -1
 
     def forward(self, x: Tensor) -> Tensor:
         return F.softmax(x, axis=self.axis)
 
 
 class AvgPool2d(Module):
+    #: ``F.avg_pool2d`` handles the folded stacked batch like ``conv2d``.
+    sample_aware = True
+
     def __init__(self, kernel_size: Union[int, tuple], stride: Optional[int] = None):
         super().__init__()
         self.kernel_size = kernel_size
@@ -135,6 +155,9 @@ class AvgPool2d(Module):
 
 
 class MaxPool2d(Module):
+    #: ``F.max_pool2d`` handles the folded stacked batch like ``conv2d``.
+    sample_aware = True
+
     def __init__(self, kernel_size: Union[int, tuple], stride: Optional[int] = None):
         super().__init__()
         self.kernel_size = kernel_size
@@ -159,6 +182,8 @@ class Flatten(Module):
     unambiguous.
     """
 
+    sample_aware = True  # the ndim == 5 branch below is the stacked path
+
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim == 5:
             x = x.transpose(0, 2, 1, 3, 4)  # (S, N, C, H, W)
@@ -167,11 +192,16 @@ class Flatten(Module):
 
 
 class Identity(Module):
+    sample_aware = True  # passthrough: rank-agnostic
+
     def forward(self, x: Tensor) -> Tensor:
         return x
 
 
 class Dropout(Module):
+    #: Elementwise; inactive in eval mode, where the stacked path runs.
+    sample_aware = True
+
     def __init__(self, p: float = 0.5, seed: SeedLike = None) -> None:
         super().__init__()
         if not 0.0 <= p < 1.0:
@@ -189,6 +219,10 @@ class Dropout(Module):
 class Sequential(Module):
     """Ordered container; also indexable so CorrectNet can splice
     compensation wrappers around individual layers."""
+
+    #: A container is stack-safe iff its children are; the eligibility
+    #: walk (``supports_sample_axis``) still recurses into them.
+    sample_aware = True
 
     def __init__(self, *modules: Module) -> None:
         super().__init__()

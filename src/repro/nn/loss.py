@@ -11,12 +11,18 @@ from repro.nn.module import Module
 class CrossEntropyLoss(Module):
     """Mean cross-entropy over integer labels (the paper's ``L_ce``)."""
 
+    #: Losses reduce over the batch; they never run on stacked activations.
+    sample_aware = False
+
     def forward(self, logits: Tensor, labels: np.ndarray) -> Tensor:
         return F.cross_entropy(logits, labels)
 
 
 class MSELoss(Module):
     """Mean squared error (used by unit tests and the RL value baseline)."""
+
+    #: Losses reduce over the batch; they never run on stacked activations.
+    sample_aware = False
 
     def forward(self, prediction: Tensor, target) -> Tensor:
         target = target if isinstance(target, Tensor) else Tensor(target)

@@ -60,7 +60,7 @@ def spawn_rngs(seed: SeedLike, n: int) -> List[np.random.Generator]:
     root = np.random.SeedSequence(
         _entropy_for(seed)
         if isinstance(seed, (int, str))
-        else new_rng(seed).integers(2**63)
+        else int(new_rng(seed).integers(2**63))
     )
     return [np.random.default_rng(s) for s in root.spawn(n)]
 

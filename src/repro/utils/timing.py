@@ -23,7 +23,7 @@ class Timer:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         if self._start is not None:
             self.elapsed = time.perf_counter() - self._start
             self._start = None

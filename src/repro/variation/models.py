@@ -9,12 +9,19 @@ evaluators.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
+import numpy.typing as npt
+
+if TYPE_CHECKING:
+    from repro.variation.spec import VariationLike
+
+#: The array type every engine moves weights around as.
+FloatArray = npt.NDArray[np.float64]
 
 
-def _canonical(value):
+def _canonical(value: object) -> object:
     """Order-insensitive hashable form of a model's parameter structure.
 
     Dict keys stringify (an int index and an equal-looking digit-string
@@ -48,7 +55,7 @@ class VariationModel:
     #: rescales them (a resolution sweep is then explicitly requested).
     structural = False
 
-    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    def perturb(self, weights: FloatArray, rng: np.random.Generator) -> FloatArray:
         raise NotImplementedError
 
     def scaled(self, factor: float) -> "VariationModel":
@@ -72,7 +79,7 @@ class VariationModel:
         ``LayerMap`` overrides this to dispatch per layer."""
         return self
 
-    def __or__(self, other) -> "VariationModel":
+    def __or__(self, other: "VariationLike") -> "VariationModel":
         """``a | b``: apply ``a`` then ``b`` in programming order — returns
         a :class:`repro.variation.spec.Compose`. ``other`` may be a model,
         a spec string or a spec dict."""
@@ -80,12 +87,12 @@ class VariationModel:
 
         return Compose([self, parse_spec(other)])
 
-    def __ror__(self, other) -> "VariationModel":
+    def __ror__(self, other: "VariationLike") -> "VariationModel":
         from repro.variation.spec import Compose, parse_spec
 
         return Compose([parse_spec(other), self])
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         """Structural equality: same class, same parameters. This is what
         makes serialization round-trips (`to_dict`/`from_dict`) and config
         equality checks meaningful."""
@@ -100,7 +107,7 @@ class VariationModel:
 class NoVariation(VariationModel):
     """Identity model (sigma = 0 column of Table I)."""
 
-    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    def perturb(self, weights: FloatArray, rng: np.random.Generator) -> FloatArray:
         return weights
 
     def scaled(self, factor: float) -> "NoVariation":
@@ -129,19 +136,19 @@ class LogNormalVariation(VariationModel):
             raise ValueError(f"sigma must be non-negative, got {sigma}")
         self.sigma = float(sigma)
 
-    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    def perturb(self, weights: FloatArray, rng: np.random.Generator) -> FloatArray:
         if self.sigma == 0.0:
             return weights
         theta = rng.normal(0.0, self.sigma, size=weights.shape)
-        return weights * np.exp(theta)
+        return np.asarray(weights * np.exp(theta), dtype=np.float64)
 
-    def multiplier_stats(self) -> tuple:
+    def multiplier_stats(self) -> Tuple[float, float]:
         """(mean, std) of the log-normal multiplier ``exp(theta)`` in closed
         form — checked against samples by the property tests."""
         s2 = self.sigma**2
         mean = np.exp(s2 / 2.0)
         std = np.sqrt((np.exp(s2) - 1.0) * np.exp(s2))
-        return mean, std
+        return float(mean), float(std)
 
     def scaled(self, factor: float) -> "LogNormalVariation":
         return LogNormalVariation(self.sigma * factor)
@@ -167,13 +174,14 @@ class GaussianVariation(VariationModel):
             raise ValueError(f"sigma must be non-negative, got {sigma}")
         self.sigma = float(sigma)
 
-    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    def perturb(self, weights: FloatArray, rng: np.random.Generator) -> FloatArray:
         if self.sigma == 0.0:
             return weights
-        scale = np.abs(weights).max()
+        scale = float(np.abs(weights).max())
         if scale == 0.0:
             return weights
-        return weights + rng.normal(0.0, self.sigma * scale, size=weights.shape)
+        noise = rng.normal(0.0, self.sigma * scale, size=weights.shape)
+        return np.asarray(weights + noise, dtype=np.float64)
 
     def scaled(self, factor: float) -> "GaussianVariation":
         return GaussianVariation(self.sigma * factor)
@@ -214,11 +222,12 @@ class ColumnCorrelatedVariation(VariationModel):
             raise ValueError(f"sigma must be non-negative, got {sigma}")
         self.sigma = float(sigma)
 
-    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    def perturb(self, weights: FloatArray, rng: np.random.Generator) -> FloatArray:
         if self.sigma == 0.0:
             return weights
         theta = rng.normal(0.0, self.sigma, size=weights.shape[0])
-        return weights * np.exp(theta).reshape((-1,) + (1,) * (weights.ndim - 1))
+        columns = np.exp(theta).reshape((-1,) + (1,) * (weights.ndim - 1))
+        return np.asarray(weights * columns, dtype=np.float64)
 
     def scaled(self, factor: float) -> "ColumnCorrelatedVariation":
         return ColumnCorrelatedVariation(self.sigma * factor)
@@ -246,14 +255,14 @@ class StateDependentVariation(VariationModel):
         self.sigma_low = float(sigma_low)
         self.sigma_high = float(sigma_high)
 
-    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        scale = np.abs(weights).max()
+    def perturb(self, weights: FloatArray, rng: np.random.Generator) -> FloatArray:
+        scale = float(np.abs(weights).max())
         if scale == 0.0:
             return weights
         level = np.abs(weights) / scale
         sigma = self.sigma_low + (self.sigma_high - self.sigma_low) * level
         theta = rng.normal(0.0, 1.0, size=weights.shape) * sigma
-        return weights * np.exp(theta)
+        return np.asarray(weights * np.exp(theta), dtype=np.float64)
 
     def scaled(self, factor: float) -> "StateDependentVariation":
         return StateDependentVariation(
@@ -286,13 +295,13 @@ class StuckAtFaults(VariationModel):
         self.rate_low = float(rate_low)
         self.rate_high = float(rate_high)
 
-    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    def perturb(self, weights: FloatArray, rng: np.random.Generator) -> FloatArray:
         out = weights.copy()
         u = rng.random(size=weights.shape)
         stuck_low = u < self.rate_low
         stuck_high = (u >= self.rate_low) & (u < self.rate_low + self.rate_high)
         out[stuck_low] = 0.0
-        scale = np.abs(weights).max()
+        scale = float(np.abs(weights).max())
         out[stuck_high] = np.sign(weights[stuck_high]) * scale
         return out
 

@@ -45,12 +45,25 @@ from __future__ import annotations
 
 import inspect
 import re
-from typing import Dict, List, Mapping, Optional, Sequence, Type, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+    cast,
+)
 
 import numpy as np
 
 from repro.variation.models import (
     ColumnCorrelatedVariation,
+    FloatArray,
     GaussianVariation,
     LogNormalVariation,
     NoVariation,
@@ -61,10 +74,10 @@ from repro.variation.models import (
 from repro.variation.nonidealities import ConductanceDrift, LevelQuantization
 
 #: Anything convertible to a variation spec at an API boundary.
-VariationLike = Union[VariationModel, str, Mapping]
+VariationLike = Union[VariationModel, str, Mapping[str, Any]]
 
 _REGISTRY: Dict[str, Type[VariationModel]] = {}
-_KIND_OF: Dict[type, str] = {}
+_KIND_OF: Dict[Type[VariationModel], str] = {}
 
 
 def register_model(kind: str, cls: Type[VariationModel]) -> Type[VariationModel]:
@@ -123,7 +136,7 @@ class Compose(VariationModel):
             raise ValueError("Compose needs at least one model")
         self.models = flat
 
-    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    def perturb(self, weights: FloatArray, rng: np.random.Generator) -> FloatArray:
         for model in self.models:
             weights = model.perturb(weights, rng)
         return weights
@@ -160,11 +173,11 @@ class Compose(VariationModel):
             return self
         return Compose(resolved)
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, Any]:
         return {"kind": "compose", "models": [to_dict(m) for m in self.models]}
 
     @classmethod
-    def from_dict(cls, payload: Mapping) -> "Compose":
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Compose":
         return cls([from_dict(m) for m in payload["models"]])
 
     def __repr__(self) -> str:
@@ -212,7 +225,7 @@ class LayerMap(VariationModel):
                 return self.overrides[layer_index - n_layers]
         return self.default
 
-    def perturb(self, weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    def perturb(self, weights: FloatArray, rng: np.random.Generator) -> FloatArray:
         return self.default.perturb(weights, rng)
 
     def scaled(self, factor: float) -> "LayerMap":
@@ -236,7 +249,7 @@ class LayerMap(VariationModel):
             return max(sweepable)
         return max(m.magnitude for m in entries)
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> Dict[str, Any]:
         # Overrides serialize as [key, payload] pairs, not a JSON object:
         # object keys are always strings, which would silently turn an
         # index 3 and a digit-named module "3" into the same key. A list
@@ -248,18 +261,19 @@ class LayerMap(VariationModel):
         }
 
     @classmethod
-    def from_dict(cls, payload: Mapping) -> "LayerMap":
+    def from_dict(cls, payload: Mapping[str, Any]) -> "LayerMap":
         raw = payload.get("overrides", [])
+        pairs: List[Tuple[Union[int, str], Any]] = []
         if isinstance(raw, Mapping):
             # Legacy / hand-written object form: digit strings mean indices
             # (a digit-named module cannot be expressed in this form).
-            pairs = []
             for key, value in raw.items():
+                parsed_key: Union[int, str] = key
                 if isinstance(key, str) and (
                     key.isdigit() or (key.startswith("-") and key[1:].isdigit())
                 ):
-                    key = int(key)
-                pairs.append((key, value))
+                    parsed_key = int(key)
+                pairs.append((parsed_key, value))
         else:
             pairs = [(key, value) for key, value in raw]
         return cls(
@@ -274,7 +288,7 @@ class LayerMap(VariationModel):
 # ---------------------------------------------------------------------------
 # Serialization: dicts
 # ---------------------------------------------------------------------------
-def _init_params(cls: type) -> List[inspect.Parameter]:
+def _init_params(cls: Type[VariationModel]) -> List[inspect.Parameter]:
     """Constructor parameters of a registered model, in declaration order."""
     sig = inspect.signature(cls.__init__)
     return [
@@ -286,7 +300,7 @@ def _init_params(cls: type) -> List[inspect.Parameter]:
     ]
 
 
-def to_dict(model: VariationModel) -> Dict:
+def to_dict(model: VariationModel) -> Dict[str, Any]:
     """JSON-serializable payload: ``{"kind": ..., <parameters>}``.
 
     Combinators override ``to_dict``; leaf models are introspected — every
@@ -295,8 +309,8 @@ def to_dict(model: VariationModel) -> Dict:
     """
     custom = getattr(model, "to_dict", None)
     if custom is not None:
-        return custom()
-    payload: Dict = {"kind": kind_of(model)}
+        return cast(Dict[str, Any], custom())
+    payload: Dict[str, Any] = {"kind": kind_of(model)}
     for param in _init_params(type(model)):
         if not hasattr(model, param.name):
             raise ValueError(
@@ -307,7 +321,7 @@ def to_dict(model: VariationModel) -> Dict:
     return payload
 
 
-def from_dict(payload: Mapping) -> VariationModel:
+def from_dict(payload: Mapping[str, Any]) -> VariationModel:
     """Inverse of :func:`to_dict` via the registry."""
     if "kind" not in payload:
         raise ValueError(f"spec dict needs a 'kind' key, got {dict(payload)}")
@@ -319,15 +333,19 @@ def from_dict(payload: Mapping) -> VariationModel:
         )
     custom = getattr(cls, "from_dict", None)
     if custom is not None:
-        return custom(payload)
+        return cast(VariationModel, custom(payload))
     kwargs = {k: v for k, v in payload.items() if k != "kind"}
-    return cls(**kwargs)
+    # The registry holds arbitrary model classes; their constructor
+    # signatures are only known at runtime (that is the point of the
+    # introspection fallback), so the call is typed as dynamic.
+    factory = cast(Callable[..., VariationModel], cls)
+    return factory(**kwargs)
 
 
 # ---------------------------------------------------------------------------
 # Serialization: the string grammar
 # ---------------------------------------------------------------------------
-def _format_value(value) -> str:
+def _format_value(value: object) -> str:
     if isinstance(value, bool):
         return str(value).lower()
     if isinstance(value, float):
@@ -339,7 +357,7 @@ def _format_value(value) -> str:
     return str(value)
 
 
-def _parse_value(text: str):
+def _parse_value(text: str) -> Union[bool, int, float, str]:
     text = text.strip()
     lowered = text.lower()
     if lowered in ("true", "false"):
@@ -370,7 +388,7 @@ def _atom_to_string(model: VariationModel) -> str:
         keep -= 1
     if keep == 0:
         return kind
-    pieces = []
+    pieces: List[str] = []
     for p, v in zip(params[:keep], values[:keep]):
         if p.kind is inspect.Parameter.KEYWORD_ONLY:
             pieces.append(f"{p.name}={_format_value(v)}")
@@ -423,8 +441,8 @@ def _parse_atom(text: str) -> VariationModel:
         raise ValueError(
             f"unknown spec kind {kind!r}; registered: {registered_kinds()}"
         )
-    args: List = []
-    kwargs: Dict = {}
+    args: List[Any] = []
+    kwargs: Dict[str, Any] = {}
     if argtext.strip():
         for piece in argtext.split(","):
             key, sep, value = piece.partition("=")
@@ -436,7 +454,8 @@ def _parse_atom(text: str) -> VariationModel:
                         f"positional argument after keyword in {text!r}"
                     )
                 args.append(_parse_value(piece))
-    return cls(*args, **kwargs)
+    factory = cast(Callable[..., VariationModel], cls)
+    return factory(*args, **kwargs)
 
 
 #: Chain separator: a '+' that is not a float exponent sign, i.e. not

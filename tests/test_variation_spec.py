@@ -101,10 +101,11 @@ class TestRegistryRoundTrips:
         a = LayerMap("lognormal:0.5", {0: "none", "net.3": "quant:4"})
         b = LayerMap("lognormal:0.5", {"net.3": "quant:4", 0: "none"})
         assert a == b
-        assert hash(a) == hash(b)
+        # hash() here exercises VariationModel.__hash__ itself, not a seed.
+        assert hash(a) == hash(b)  # reprolint: disable=RNG003
         assert len({a, b}) == 1
         c = parse_spec("lognormal:0.5+quant:4")
-        assert hash(c) == hash(LogNormalVariation(0.5) | LevelQuantization(4))
+        assert hash(c) == hash(LogNormalVariation(0.5) | LevelQuantization(4))  # reprolint: disable=RNG003
 
     def test_structural_scaling_picks_nearest_magnitude(self):
         """Standalone quantization sweeps pick the bit-width whose
