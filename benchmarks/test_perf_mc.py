@@ -23,6 +23,11 @@ lists everywhere) and merges the results into ``BENCH_mc.json``:
   the wrappers are sample-aware, S draws run as one stacked
   forward/backward, so the cost of S should stay well below S times the
   S=1 cost.
+- ``adaptive`` — sequential stopping vs the paper's fixed S=250 on the
+  Fig. 7 sigma sweep: draws used per grid point at ``tolerance`` vs the
+  fixed protocol, with the adaptive mean agreeing with the fixed mean
+  within the adaptive run's reported CI. The acceptance bar: at least
+  half the grid points finish within 40% of the fixed draw count.
 
 Timing protocol: wall time is the minimum over several repetitions (the
 standard noise-robust estimator on shared machines), and measurement
@@ -67,6 +72,18 @@ COMPENSATION_SAMPLES = (1, 2, 4)
 COMPENSATION_RATIO = 0.25  # generator width ratio at every weighted layer
 REPEATS = 5
 MAX_ROUNDS = 3
+# Adaptive-stopping scenario: the paper's fixed protocol vs sequential
+# stopping at this CI half-width target (2 accuracy points at 95%).
+FIXED_SAMPLES = 250
+ADAPTIVE_TOLERANCE = 0.02
+# Draw floor before the rule may fire: the CI needs a stable variance
+# estimate (two full chunks), or a lucky low-spread prefix stops a
+# saturated point with an anti-conservative interval (optional-stopping
+# bias) — exactly what test_sequential's coverage tests guard at the unit
+# level and this floor guards at the protocol level.
+ADAPTIVE_MIN_SAMPLES = 32
+ADAPTIVE_TARGET_FRACTION = 0.4  # draws used vs fixed, per grid point
+ADAPTIVE_TARGET_POINTS = 0.5  # fraction of grid points that must hit it
 
 
 def _merge_record(key: str, value) -> None:
@@ -214,6 +231,94 @@ def test_mc_hybrid_pool_speedup(workbench, pairs):
         f"hybrid pool x vectorized at {speedup:.2f}x is slower than the "
         f"legacy per-draw pool it replaced "
         f"(rounds: {[round(r['speedup'], 2) for r in rounds]})"
+    )
+
+
+def test_mc_adaptive_draw_reduction(workbench, pairs):
+    """Sequential stopping vs fixed S=250 on the Fig. 7 sigma sweep.
+
+    The ROADMAP's "stop when the answer is known" claim, measured: on the
+    Lipschitz-trained LeNet5-MNIST model, saturated low-sigma points and
+    the noisy high-sigma tail alike should reach a +/-2% (95% CI) answer
+    in a fraction of the paper's 250 draws. Gates:
+
+    - the adaptive mean agrees with the fixed-S mean within the claimed
+      +/-tolerance on every grid point (same conclusion, stated at the
+      precision the run reports);
+    - at least half the grid points use <= 40% of the fixed draws;
+    - adaptive draws are a bitwise prefix of the fixed run (structural,
+      but cheap to assert here on real sweep data).
+    """
+    from conftest import SIGMA_GRID
+
+    spec = pairs["lenet5-mnist"]
+    _, test = workbench.data("lenet5-mnist")
+    model = workbench.lipschitz_model("lenet5-mnist")
+
+    fixed_ev = MonteCarloEvaluator(
+        test, n_samples=FIXED_SAMPLES, seed=SEED, vectorized=True
+    )
+    adaptive_ev = MonteCarloEvaluator(
+        test, n_samples=FIXED_SAMPLES, seed=SEED, vectorized=True,
+        tolerance=ADAPTIVE_TOLERANCE, min_samples=ADAPTIVE_MIN_SAMPLES,
+    )
+
+    points = []
+    start = time.perf_counter()
+    adaptive_results = [
+        adaptive_ev.evaluate(model, LogNormalVariation(sigma))
+        for sigma in SIGMA_GRID
+    ]
+    adaptive_s = time.perf_counter() - start
+    start = time.perf_counter()
+    fixed_results = [
+        fixed_ev.evaluate(model, LogNormalVariation(sigma))
+        for sigma in SIGMA_GRID
+    ]
+    fixed_s = time.perf_counter() - start
+
+    for sigma, fixed, adaptive in zip(SIGMA_GRID, fixed_results,
+                                      adaptive_results):
+        k = adaptive.n_samples_used
+        assert adaptive.accuracies == fixed.accuracies[:k], (
+            f"sigma={sigma}: adaptive draws are not a prefix of fixed-S"
+        )
+        assert abs(adaptive.mean - fixed.mean) <= ADAPTIVE_TOLERANCE, (
+            f"sigma={sigma}: adaptive mean {adaptive.mean:.4f} differs from "
+            f"the fixed-S mean {fixed.mean:.4f} by more than the reported "
+            f"+/-{ADAPTIVE_TOLERANCE} precision"
+        )
+        points.append({
+            "sigma": sigma,
+            "fixed_mean": fixed.mean,
+            "adaptive_mean": adaptive.mean,
+            "adaptive_ci": [adaptive.ci_low, adaptive.ci_high],
+            "draws_used": k,
+            "draw_fraction": k / FIXED_SAMPLES,
+            "stopped_early": adaptive.stopped_early,
+        })
+
+    hits = sum(
+        p["draw_fraction"] <= ADAPTIVE_TARGET_FRACTION for p in points
+    )
+    _merge_record("adaptive", {
+        "pair": spec.paper_name,
+        "fixed_samples": FIXED_SAMPLES,
+        "tolerance": ADAPTIVE_TOLERANCE,
+        "fixed_s": fixed_s,
+        "adaptive_s": adaptive_s,
+        "speedup": fixed_s / adaptive_s,
+        "total_draws_fixed": FIXED_SAMPLES * len(SIGMA_GRID),
+        "total_draws_adaptive": sum(p["draws_used"] for p in points),
+        "points_at_target": hits,
+        "target_fraction": ADAPTIVE_TARGET_FRACTION,
+        "points": points,
+    })
+
+    assert hits >= ADAPTIVE_TARGET_POINTS * len(SIGMA_GRID), (
+        f"only {hits}/{len(SIGMA_GRID)} grid points used <= "
+        f"{ADAPTIVE_TARGET_FRACTION:.0%} of the fixed draws "
+        f"(fractions: {[round(p['draw_fraction'], 2) for p in points]})"
     )
 
 

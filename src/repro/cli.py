@@ -14,7 +14,9 @@ composes the paper's log-normal model with 4-bit level quantization;
 ``correctnet-eval --analog`` deploys the checkpoint onto the crossbar
 simulator first (optionally with ``--dac-bits/--adc-bits/--read-noise``),
 so the same scenarios evaluate through the full analog chain — on any
-engine, seed-paired.
+engine, seed-paired. ``--tolerance`` (eval and search) switches the
+Monte-Carlo protocol to sequential stopping: draw until the confidence
+interval on mean accuracy is tight enough, up to ``--max-samples``.
 """
 
 from __future__ import annotations
@@ -81,6 +83,21 @@ def _add_chunk_args(parser: argparse.ArgumentParser) -> None:
         "--memory-budget", type=float, default=None, metavar="MB",
         help="derive --chunk-samples from a peak-memory budget in MiB for "
         "stacked state (an explicit --chunk-samples wins)",
+    )
+
+
+def _add_adaptive_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tolerance", type=float, default=None, metavar="T",
+        help="stop sampling once the 95%% confidence interval on mean "
+        "accuracy has half-width <= T (e.g. 0.02 for +/-2%%); the draws "
+        "evaluated are a bitwise prefix of the fixed-S run on the same "
+        "seed (see repro.evaluation.sequential)",
+    )
+    parser.add_argument(
+        "--max-samples", type=int, default=None, metavar="S",
+        help="cap on Monte-Carlo draws for adaptive runs (default: the "
+        "fixed sample count)",
     )
 
 
@@ -151,6 +168,13 @@ def eval_main(argv: Optional[List[str]] = None) -> int:
         "when the model supports them",
     )
     _add_chunk_args(parser)
+    _add_adaptive_args(parser)
+    parser.add_argument(
+        "--dump-accuracies", default=None, metavar="PATH",
+        help="write the per-draw accuracies (seed-schedule order) to PATH "
+        "as JSON — e.g. for checking the adaptive/fixed paired-prefix "
+        "contract across invocations",
+    )
     parser.add_argument(
         "--analog", action="store_true",
         help="deploy the checkpoint onto simulated RRAM crossbars "
@@ -219,19 +243,27 @@ def eval_main(argv: Optional[List[str]] = None) -> int:
         n_workers = os.cpu_count() or 2
     evaluator = MonteCarloEvaluator(
         test,
-        n_samples=args.samples,
+        n_samples=args.max_samples if args.max_samples else args.samples,
         vectorized=args.engine == "vectorized",
         n_workers=n_workers,
         chunk_samples=args.chunk_samples,
         memory_budget_mb=args.memory_budget,
+        tolerance=args.tolerance,
     )
     variation = _resolve_variation(args)
     result = evaluator.evaluate(model, variation)
+    if args.dump_accuracies:
+        import json
+
+        with open(args.dump_accuracies, "w") as fh:
+            json.dump(result.accuracies, fh)
     print(
         format_table(
-            ["variation", "clean acc %", "mean acc %", "std %"],
+            ["variation", "clean acc %", "mean acc %", "std %",
+             "ci95 ±%", "draws"],
             [[to_string(variation), 100 * clean, 100 * result.mean,
-              100 * result.std]],
+              100 * result.std, 100 * result.ci_half_width,
+              result.n_samples_used]],
         )
     )
     return 0
@@ -243,6 +275,7 @@ def search_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--sigma", type=float, default=0.5)
     _add_variation_arg(parser)
     _add_chunk_args(parser)
+    _add_adaptive_args(parser)
     args = parser.parse_args(argv)
     if args.verbose:
         set_verbosity()
@@ -257,6 +290,10 @@ def search_main(argv: Optional[List[str]] = None) -> int:
         config.eval.chunk_samples = args.chunk_samples
     if args.memory_budget is not None:
         config.eval.memory_budget_mb = args.memory_budget
+    if args.tolerance is not None:
+        config.eval.tolerance = args.tolerance
+    if args.max_samples is not None:
+        config.eval.n_samples = args.max_samples
     result = CorrectNet(model, train, test, config).run()
     print(
         format_table(

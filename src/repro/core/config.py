@@ -87,6 +87,17 @@ class EvalConfig:
     # When set, derive the chunk size from a peak-memory budget instead
     # (see repro.evaluation.plan.estimate_sample_bytes).
     memory_budget_mb: Optional[float] = None
+    # Sequential (adaptive) stopping: a CI half-width target turns
+    # n_samples into a cap (see repro.evaluation.sequential). None keeps
+    # the paper's fixed-S protocol.
+    tolerance: Optional[float] = None
+    # Lower draw bound before the rule may fire; None uses the
+    # HalfWidthRule default.
+    min_samples: Optional[int] = None
+    # Confidence level and interval estimator ("clt" | "wilson") used for
+    # both stop decisions and reported ci_low/ci_high.
+    ci_confidence: float = 0.95
+    ci_method: str = "clt"
 
 
 @dataclass

@@ -170,6 +170,10 @@ class CorrectNet:
             n_workers=cfg.n_workers,
             sample_chunk=cfg.chunk_samples,
             memory_budget_mb=cfg.memory_budget_mb,
+            tolerance=cfg.tolerance,
+            min_samples=cfg.min_samples,
+            ci_confidence=cfg.ci_confidence,
+            ci_method=cfg.ci_method,
         )
 
     def find_candidates(self, original_accuracy: float) -> List[int]:

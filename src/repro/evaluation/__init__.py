@@ -7,12 +7,30 @@ accuracy; :class:`MonteCarloEvaluator` reproduces that protocol.
 last layer" experiment, from which :func:`select_candidates` derives the
 compensation-candidate prefix. :class:`ErrorPropagationTracer` measures the
 per-layer feature deviations that motivate error suppression (Fig. 4).
+Sequential stopping (``evaluate(tolerance=...)``) lives in
+``repro.evaluation.sequential``: interval estimators, the
+:class:`StoppingRule` family and the sweep-level draw allocator.
 """
 
 from repro.evaluation.metrics import accuracy, recovery_ratio
 from repro.evaluation.montecarlo import MCResult, MonteCarloEvaluator
-from repro.evaluation.executor import execute, make_adapter
+from repro.evaluation.executor import (
+    execute,
+    IncrementalEvaluation,
+    make_adapter,
+    reassemble_shards,
+)
 from repro.evaluation.plan import build_plan, estimate_sample_bytes, EvalPlan
+from repro.evaluation.sequential import (
+    allocate_draws,
+    clt_interval,
+    FixedSamples,
+    half_width,
+    HalfWidthRule,
+    interval,
+    StoppingRule,
+    wilson_interval,
+)
 from repro.evaluation.vectorized import stacked_accuracies, supports_sample_axis
 from repro.evaluation.layer_sweep import layer_sweep, select_candidates
 from repro.evaluation.tracer import ErrorPropagationTracer, LayerDeviation
@@ -41,4 +59,14 @@ __all__ = [
     "estimate_sample_bytes",
     "execute",
     "make_adapter",
+    "IncrementalEvaluation",
+    "reassemble_shards",
+    "StoppingRule",
+    "FixedSamples",
+    "HalfWidthRule",
+    "interval",
+    "clt_interval",
+    "wilson_interval",
+    "half_width",
+    "allocate_draws",
 ]

@@ -30,22 +30,39 @@ the worker. Workers run the **vectorized stacked kernels over their
 shard's chunks** when the plan says the model supports it
 (``plan.worker_vectorized`` — the hybrid workers × stacked-S scale point
 recorded in ``BENCH_mc.json``), falling back to the per-draw reference
-loop otherwise. Shard results concatenate in sample order.
+loop otherwise. Shards may complete in any order;
+:func:`reassemble_shards` puts every draw back at its seed-schedule
+position, so ``MCResult.accuracies[i]`` is stream ``i``'s draw on every
+backend — the property downstream CI computation relies on.
+
+Sequential (adaptive) stopping: when the plan carries a
+``stopping`` rule, every backend evaluates chunk-by-chunk, re-checks the
+rule on the prefix of draws after each chunk — at chunk boundaries only,
+in seed-schedule order — and halts once it is satisfied. The in-process
+backends drive this through :class:`IncrementalEvaluation` (also the
+unit the sweep-level draw allocator schedules); the pool dispatches
+chunk tasks through a bounded submission window and consumes results in
+schedule order, discarding any chunks already in flight when the rule
+fires. The decision points and the per-draw state are identical
+everywhere, so the stop point is engine-invariant and an adaptive run's
+draws are a bitwise prefix of the fixed-S run on the same seed.
 """
 
 from __future__ import annotations
 
 import contextlib
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import as_completed, Future, ProcessPoolExecutor
 from typing import (
     TYPE_CHECKING,
     Any,
     ContextManager,
     Dict,
+    Iterable,
     Iterator,
     List,
     Optional,
     Sequence,
+    Tuple,
     Union,
     cast,
 )
@@ -56,6 +73,7 @@ import numpy.typing as npt
 from repro.data.dataset import ArrayDataset
 from repro.evaluation.metrics import accuracy
 from repro.evaluation.plan import EvalPlan
+from repro.evaluation.sequential import HalfWidthRule
 from repro.evaluation.vectorized import stacked_accuracies
 from repro.hardware.analog_layers import (
     analog_layers,
@@ -243,10 +261,149 @@ def _pool_worker(rngs: Sequence[np.random.Generator]) -> List[float]:
         return _loop_accuracies(model, dataset, adapter, plan, rngs)
 
 
-def _run_pool(plan: EvalPlan, model: Module, dataset: ArrayDataset) -> "MCResult":
-    """Fan the plan's shards out over worker processes, order-preserving."""
+def reassemble_shards(parts: Iterable[Tuple[int, List[float]]]) -> List[float]:
+    """Shard results back into seed-schedule order.
+
+    Pool shards may complete in any order; each carries its shard index,
+    and concatenating by index restores ``accuracies[i] == stream i``
+    exactly — the ordering downstream statistics (mean, std, confidence
+    intervals) rely on being backend-invariant. Raises if the indices are
+    not exactly ``0..n-1``, since a missing or duplicated shard would
+    silently misalign every later draw.
+    """
+    ordered = sorted(parts, key=lambda pair: pair[0])
+    indices = [index for index, _ in ordered]
+    if indices != list(range(len(indices))):
+        raise ValueError(f"shard indices must be 0..n-1, got {indices}")
+    return [acc for _, accs in ordered for acc in accs]
+
+
+def _result(plan: EvalPlan, accuracies: List[float]) -> "MCResult":
+    """Wrap raw per-draw accuracies in an ``MCResult`` for this plan.
+
+    ``stopped_early`` is structural: fewer draws than the cap means a rule
+    (or a sweep budget) cut the schedule short. Deterministic plans report
+    their single nominal draw without the flag, and the result carries the
+    stopping rule's CI settings so ``ci_low``/``ci_high`` are computed the
+    same way the stop decision was made.
+    """
     from repro.evaluation.montecarlo import MCResult
 
+    rule = plan.stopping
+    confidence = rule.confidence if isinstance(rule, HalfWidthRule) else 0.95
+    method = rule.method if isinstance(rule, HalfWidthRule) else "clt"
+    return MCResult(
+        accuracies,
+        stopped_early=not plan.deterministic and len(accuracies) < plan.n_samples,
+        confidence=confidence,
+        ci_method=method,
+    )
+
+
+class IncrementalEvaluation:
+    """Resumable chunk-by-chunk in-process execution of one plan.
+
+    The unit of sequential evaluation: holds the plan's seed schedule and
+    chunk bounds, evaluates one chunk per :meth:`run_chunk` call (stacked
+    when the plan is vectorized, per-draw otherwise), and consults the
+    plan's stopping rule on the accumulated prefix after every chunk.
+    Satisfies the :class:`~repro.evaluation.sequential.SequentialPoint`
+    protocol, so the sweep-level allocator can interleave chunks across
+    many of these against one shared budget — each instance's draws stay a
+    contiguous prefix of its own schedule regardless of interleaving.
+
+    Use as a context manager: entry opens the adapter's run context
+    (weight restoration / analog chip-state snapshot), exit restores it.
+    """
+
+    def __init__(self, plan: EvalPlan, model: Module, dataset: ArrayDataset) -> None:
+        self.plan = plan
+        self.model = model
+        self.dataset = dataset
+        self.accuracies: List[float] = []
+        self.adapter: ModelAdapter = make_adapter(model, plan)
+        if plan.deterministic:
+            # One nominal draw is the entire schedule.
+            self._bounds: Sequence[Tuple[int, int]] = ((0, 1),)
+            self._rngs: List[np.random.Generator] = []
+        else:
+            self._bounds = plan.chunks()
+            self._rngs = list(plan.draw_rngs())
+        self._next = 0
+        self._stopped = False
+        self._nominal: Optional[float] = None
+        self._ctx: Optional[ContextManager[object]] = None
+
+    @property
+    def done(self) -> bool:
+        """True once the rule fired or the seed schedule is exhausted."""
+        return self._stopped or self._next >= len(self._bounds)
+
+    def __enter__(self) -> "IncrementalEvaluation":
+        self._ctx = self.adapter.run_context()
+        self._ctx.__enter__()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        ctx, self._ctx = self._ctx, None
+        if ctx is not None:
+            ctx.__exit__(None, None, None)
+
+    def run_chunk(self) -> int:
+        """Evaluate the next chunk; returns the number of draws consumed.
+
+        A no-op returning 0 when :attr:`done`. Stopping is re-checked on
+        the full prefix after the chunk lands — the same decision points
+        as every other backend, so the stop draw count is engine-invariant.
+        """
+        if self.done:
+            return 0
+        start, stop = self._bounds[self._next]
+        self._next += 1
+        if self.plan.deterministic:
+            self.accuracies.append(
+                accuracy(self.model, self.dataset, self.plan.batch_size)
+            )
+        elif self.plan.backend == "vectorized" and not self.adapter.has_targets:
+            # No target parameters (e.g. empty layer subset): every sample
+            # sees nominal weights, matching what the loop would measure.
+            if self._nominal is None:
+                self._nominal = accuracy(
+                    self.model, self.dataset, self.plan.batch_size
+                )
+            self.accuracies.extend([self._nominal] * (stop - start))
+        else:
+            chunk = self._rngs[start:stop]
+            if self.plan.backend == "vectorized":
+                self.accuracies.extend(
+                    _stacked_accuracies(
+                        self.model, self.dataset, self.adapter, self.plan, chunk
+                    )
+                )
+            else:
+                self.accuracies.extend(
+                    _loop_accuracies(
+                        self.model, self.dataset, self.adapter, self.plan, chunk
+                    )
+                )
+        rule = self.plan.stopping
+        if rule is not None and rule.satisfied(self.accuracies):
+            self._stopped = True
+        return stop - start
+
+    def result(self) -> "MCResult":
+        """The draws evaluated so far, wrapped for this plan."""
+        return _result(self.plan, self.accuracies)
+
+
+def _run_pool(plan: EvalPlan, model: Module, dataset: ArrayDataset) -> "MCResult":
+    """Fan the plan's shards out over worker processes.
+
+    Shards are submitted all at once and collected as they complete;
+    :func:`reassemble_shards` restores seed-schedule order afterwards, so
+    completion order — which depends on OS scheduling — never leaks into
+    the result.
+    """
     rngs = plan.draw_rngs()
     shards = plan.worker_shards()
     with ProcessPoolExecutor(
@@ -254,10 +411,57 @@ def _run_pool(plan: EvalPlan, model: Module, dataset: ArrayDataset) -> "MCResult
         initializer=_pool_init,
         initargs=(model, dataset, plan),
     ) as pool:
-        parts = list(
-            pool.map(_pool_worker, [rngs[start:stop] for start, stop in shards])
-        )
-    return MCResult([acc for part in parts for acc in part])
+        futures = {
+            pool.submit(_pool_worker, rngs[start:stop]): index
+            for index, (start, stop) in enumerate(shards)
+        }
+        parts = [(futures[f], f.result()) for f in as_completed(futures)]
+    return _result(plan, reassemble_shards(parts))
+
+
+def _run_pool_adaptive(
+    plan: EvalPlan, model: Module, dataset: ArrayDataset
+) -> "MCResult":
+    """Sequential stopping over the pool backend.
+
+    Chunk tasks (not worker shards — decisions happen at chunk
+    boundaries) are dispatched in schedule order through a bounded
+    submission window and their results consumed strictly in order, so
+    the stopping rule sees exactly the same prefixes at the same draw
+    counts as the in-process backends. Chunks still in flight when the
+    rule fires are discarded, never appended — completion order cannot
+    change the result, only how much speculative work is thrown away.
+    """
+    rule = plan.stopping
+    assert rule is not None  # caller dispatches on this
+    rngs = plan.draw_rngs()
+    bounds = plan.chunks()
+    accs: List[float] = []
+    max_workers = min(plan.n_workers, len(bounds))
+    window = 2 * max_workers
+    with ProcessPoolExecutor(
+        max_workers=max_workers,
+        initializer=_pool_init,
+        initargs=(model, dataset, plan),
+    ) as pool:
+        pending: Dict[int, "Future[List[float]]"] = {}
+        next_submit = 0
+
+        def submit_until(limit: int) -> None:
+            nonlocal next_submit
+            while next_submit < min(limit, len(bounds)):
+                start, stop = bounds[next_submit]
+                pending[next_submit] = pool.submit(_pool_worker, rngs[start:stop])
+                next_submit += 1
+
+        for index in range(len(bounds)):
+            submit_until(index + window)
+            accs.extend(pending.pop(index).result())
+            if rule.satisfied(accs):
+                for future in pending.values():
+                    future.cancel()
+                break
+    return _result(plan, accs)
 
 
 # ---------------------------------------------------------------------------
@@ -269,24 +473,17 @@ def execute(plan: EvalPlan, model: Module, dataset: ArrayDataset) -> "MCResult":
     The model must be in the mode the plan was built against (the
     evaluator forces eval mode around both calls). Deterministic plans —
     no variation to sample, no read noise — short-circuit to a single
-    nominal evaluation.
+    nominal evaluation. Plans carrying a stopping rule run chunk-by-chunk
+    and may halt before the ``n_samples`` cap (``MCResult.stopped_early``).
     """
-    from repro.evaluation.montecarlo import MCResult
-
     if plan.deterministic:
-        return MCResult([accuracy(model, dataset, plan.batch_size)])
+        return _result(plan, [accuracy(model, dataset, plan.batch_size)])
     if plan.backend == "pool":
+        if plan.stopping is not None:
+            return _run_pool_adaptive(plan, model, dataset)
         return _run_pool(plan, model, dataset)
-    adapter = make_adapter(model, plan)
-    if plan.backend == "vectorized" and not adapter.has_targets:
-        # No target parameters (e.g. empty layer subset): every sample
-        # sees nominal weights, matching what the loop would measure.
-        acc = accuracy(model, dataset, plan.batch_size)
-        return MCResult([acc] * plan.n_samples)
-    rngs = plan.draw_rngs()
-    with adapter.run_context():
-        if plan.backend == "vectorized":
-            accs = _stacked_accuracies(model, dataset, adapter, plan, rngs)
-        else:
-            accs = _loop_accuracies(model, dataset, adapter, plan, rngs)
-    return MCResult(accs)
+    evaluation = IncrementalEvaluation(plan, model, dataset)
+    with evaluation:
+        while not evaluation.done:
+            evaluation.run_chunk()
+    return evaluation.result()

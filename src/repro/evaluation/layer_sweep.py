@@ -23,19 +23,43 @@ def layer_sweep(
     model: Module,
     variation: "VariationLike",
     evaluator: MonteCarloEvaluator,
+    *,
+    tolerance: Optional[float] = None,
+    draw_budget: Optional[int] = None,
+    min_samples: Optional[int] = None,
 ) -> List[Tuple[int, MCResult]]:
     """Accuracy with variations injected from layer ``i`` to the last layer.
 
     Returns ``[(i, MCResult), ...]`` for i = 1 .. L (1-indexed, matching the
     paper's x-axis; i = 1 means every layer is perturbed).
+
+    A ``tolerance`` or shared ``draw_budget`` makes the sweep adaptive:
+    all tail subsets are evaluated through
+    :meth:`~repro.evaluation.montecarlo.MonteCarloEvaluator.evaluate_grid`,
+    which round-robins chunks to the subsets with the widest confidence
+    intervals — the absorbed late-layer tails stop early, the collapsing
+    early-layer tails keep drawing.
     """
     variation = parse_spec(variation)
     layers = weighted_layers(model)
-    results = []
-    for i in range(1, len(layers) + 1):
-        subset = [module for _, module in layers[i - 1 :]]
-        results.append((i, evaluator.evaluate(model, variation, layers=subset)))
-    return results
+    subsets = [
+        [module for _, module in layers[i - 1 :]]
+        for i in range(1, len(layers) + 1)
+    ]
+    if tolerance is not None or draw_budget is not None:
+        results = evaluator.evaluate_grid(
+            model,
+            [(variation, subset, None) for subset in subsets],
+            tolerance=tolerance,
+            draw_budget=draw_budget,
+            min_samples=min_samples,
+        )
+    else:
+        results = [
+            evaluator.evaluate(model, variation, layers=subset)
+            for subset in subsets
+        ]
+    return list(enumerate(results, start=1))
 
 
 def select_candidates(

@@ -39,18 +39,35 @@ grammar string (``"lognormal:0.5+quant:4"``), or a spec dict (see
 ``repro.variation.spec``). For analog models ``layers`` /
 ``protection_masks`` are rejected (weight-domain controls) — express
 per-layer analog scenarios with a ``LayerMap`` spec instead.
+
+Sequential (adaptive) evaluation: a ``tolerance`` — on the evaluator or
+per :meth:`~MonteCarloEvaluator.evaluate` call — turns ``n_samples`` into
+a cap and stops once the confidence interval on mean accuracy is tighter
+than requested (see ``repro.evaluation.sequential``). The adaptive run's
+draws are a bitwise prefix of the fixed-S run on the same seed, on every
+backend. Sweeps (:meth:`~MonteCarloEvaluator.sweep_sigma`,
+:meth:`~MonteCarloEvaluator.evaluate_grid`) additionally accept a shared
+``draw_budget`` that is round-robined chunk-by-chunk to the grid points
+with the widest intervals.
 """
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.data.dataset import ArrayDataset
-from repro.evaluation.executor import execute
+from repro.evaluation.executor import execute, IncrementalEvaluation
 from repro.evaluation.plan import build_plan
+from repro.evaluation.sequential import (
+    allocate_draws,
+    CI_METHODS,
+    half_width,
+    interval,
+)
 from repro.nn.module import Module
 from repro.utils.rng import SeedLike
 from repro.variation.spec import parse_spec, scale_to, VariationLike
@@ -58,9 +75,24 @@ from repro.variation.spec import parse_spec, scale_to, VariationLike
 
 @dataclass
 class MCResult:
-    """Accuracy distribution over variation samples."""
+    """Accuracy distribution over variation samples.
+
+    ``accuracies`` is always in seed-schedule order — entry ``i`` is the
+    draw from spawned stream ``i`` — regardless of backend, chunking, or
+    the order pool shards completed in, so every downstream statistic
+    (mean, std, confidence interval) is backend-invariant. Adaptive runs
+    set ``stopped_early`` and carry the CI settings their stopping rule
+    decided with; fixed runs default to a 95% CLT interval.
+    """
 
     accuracies: List[float] = field(default_factory=list)
+    #: True when a stopping rule (or a sweep draw budget) cut the run
+    #: short of its ``n_samples`` cap.
+    stopped_early: bool = False
+    #: Confidence level for ``ci_low``/``ci_high``.
+    confidence: float = 0.95
+    #: Interval estimator (see ``repro.evaluation.sequential.CI_METHODS``).
+    ci_method: str = "clt"
 
     def _require_samples(self) -> None:
         if not self.accuracies:
@@ -68,6 +100,11 @@ class MCResult:
                 "MCResult holds no accuracy samples; evaluate() fills it — "
                 "statistics of an empty result are undefined"
             )
+
+    @property
+    def n_samples_used(self) -> int:
+        """Number of variation draws actually evaluated."""
+        return len(self.accuracies)
 
     @property
     def mean(self) -> float:
@@ -89,10 +126,34 @@ class MCResult:
         self._require_samples()
         return float(np.max(self.accuracies))
 
+    def _interval(self) -> Tuple[float, float]:
+        self._require_samples()
+        return interval(self.accuracies, self.confidence, self.ci_method)
+
+    @property
+    def ci_low(self) -> float:
+        """Lower bound of the confidence interval on mean accuracy."""
+        return self._interval()[0]
+
+    @property
+    def ci_high(self) -> float:
+        """Upper bound of the confidence interval on mean accuracy."""
+        return self._interval()[1]
+
+    @property
+    def ci_half_width(self) -> float:
+        """Half the confidence-interval width — what ``tolerance`` bounds."""
+        low, high = self._interval()
+        return (high - low) / 2.0
+
     def __repr__(self) -> str:
         if not self.accuracies:
             return "MCResult(empty)"
-        return f"MCResult(mean={self.mean:.4f}, std={self.std:.4f}, n={len(self.accuracies)})"
+        early = ", stopped_early" if self.stopped_early else ""
+        return (
+            f"MCResult(mean={self.mean:.4f}, std={self.std:.4f}, "
+            f"n={len(self.accuracies)}{early})"
+        )
 
 
 class MonteCarloEvaluator:
@@ -132,6 +193,16 @@ class MonteCarloEvaluator:
         execution shares one blocking). Stacked intermediates are S times
         larger than ordinary activations, so blocks stay cache-sized
         instead of using ``batch_size``.
+    tolerance:
+        Default CI half-width target for sequential stopping; ``None``
+        (the default) runs the paper's fixed-S protocol. ``n_samples``
+        becomes a cap when set. Overridable per :meth:`evaluate` call.
+    min_samples:
+        Lower draw bound before a stopping rule may fire; ``None`` uses
+        the :class:`~repro.evaluation.sequential.HalfWidthRule` default.
+    ci_confidence / ci_method:
+        Confidence level and interval estimator ("clt" or "wilson") used
+        both for stop decisions and for reported ``ci_low``/``ci_high``.
     """
 
     def __init__(
@@ -146,6 +217,10 @@ class MonteCarloEvaluator:
         data_block: int = 64,
         chunk_samples: Optional[int] = None,
         memory_budget_mb: Optional[float] = None,
+        tolerance: Optional[float] = None,
+        min_samples: Optional[int] = None,
+        ci_confidence: float = 0.95,
+        ci_method: str = "clt",
     ) -> None:
         if n_samples <= 0:
             raise ValueError(f"n_samples must be positive, got {n_samples}")
@@ -163,6 +238,20 @@ class MonteCarloEvaluator:
             raise ValueError(
                 f"memory_budget_mb must be positive, got {memory_budget_mb}"
             )
+        if tolerance is not None and tolerance <= 0:
+            raise ValueError(f"tolerance must be positive, got {tolerance}")
+        if min_samples is not None and min_samples < 1:
+            raise ValueError(
+                f"min_samples must be at least 1, got {min_samples}"
+            )
+        if not 0.0 < ci_confidence < 1.0:
+            raise ValueError(
+                f"ci_confidence must be in (0, 1), got {ci_confidence}"
+            )
+        if ci_method not in CI_METHODS:
+            raise ValueError(
+                f"unknown CI method {ci_method!r}; choose from {CI_METHODS}"
+            )
         self.dataset = dataset
         self.n_samples = n_samples
         self.seed = seed
@@ -173,6 +262,10 @@ class MonteCarloEvaluator:
         self.data_block = data_block
         self.chunk_samples = chunk_samples
         self.memory_budget_mb = memory_budget_mb
+        self.tolerance = tolerance
+        self.min_samples = min_samples
+        self.ci_confidence = ci_confidence
+        self.ci_method = ci_method
 
     def plan(
         self,
@@ -180,16 +273,22 @@ class MonteCarloEvaluator:
         variation: "VariationLike",
         layers: Optional[Sequence[Module]] = None,
         protection_masks: Optional[Dict[str, np.ndarray]] = None,
+        *,
+        tolerance: Optional[float] = None,
+        max_samples: Optional[int] = None,
+        min_samples: Optional[int] = None,
     ):
         """The :class:`~repro.evaluation.plan.EvalPlan` this evaluator
         would execute for ``model``/``variation`` — the introspectable
         form of :meth:`evaluate`'s dispatch. The model must be in the mode
-        it will be evaluated in (``evaluate`` forces eval mode)."""
+        it will be evaluated in (``evaluate`` forces eval mode).
+        ``tolerance``/``max_samples``/``min_samples`` override the
+        evaluator defaults for this plan only."""
         return build_plan(
             model,
             self.dataset,
             variation,
-            n_samples=self.n_samples,
+            n_samples=self.n_samples if max_samples is None else max_samples,
             seed=self.seed,
             batch_size=self.batch_size,
             vectorized=self.vectorized,
@@ -198,6 +297,10 @@ class MonteCarloEvaluator:
             default_chunk=self.sample_chunk,
             chunk_samples=self.chunk_samples,
             memory_budget_mb=self.memory_budget_mb,
+            tolerance=self.tolerance if tolerance is None else tolerance,
+            min_samples=self.min_samples if min_samples is None else min_samples,
+            ci_confidence=self.ci_confidence,
+            ci_method=self.ci_method,
             layers=layers,
             protection_masks=protection_masks,
         )
@@ -208,8 +311,12 @@ class MonteCarloEvaluator:
         variation: "VariationLike",
         layers: Optional[Sequence[Module]] = None,
         protection_masks: Optional[Dict[str, np.ndarray]] = None,
+        *,
+        tolerance: Optional[float] = None,
+        max_samples: Optional[int] = None,
+        min_samples: Optional[int] = None,
     ) -> MCResult:
-        """Accuracy over ``n_samples`` draws of ``variation``.
+        """Accuracy over up to ``n_samples`` draws of ``variation``.
 
         ``variation`` is any spec form (model / grammar string / dict).
         ``layers`` restricts injection to a layer subset (Fig. 9);
@@ -217,6 +324,13 @@ class MonteCarloEvaluator:
         A ``NoVariation`` model short-circuits to a single deterministic
         evaluation. Backend choice (vectorized / pool / loop) follows the
         module docstring; all backends return paired results for a seed.
+
+        ``tolerance`` (here or on the evaluator) enables sequential
+        stopping: draws run chunk-by-chunk until the confidence interval
+        on mean accuracy has half-width at most ``tolerance``, or the
+        ``max_samples`` cap (default: the evaluator's ``n_samples``) is
+        reached. The draws evaluated are a bitwise prefix of the fixed-S
+        run on the same seed.
 
         Monte-Carlo evaluation is an eval-mode protocol, so the model is
         switched to eval mode up front (and restored afterwards) — this is
@@ -227,12 +341,88 @@ class MonteCarloEvaluator:
         was_training = model.training
         model.eval()
         try:
-            plan = self.plan(model, variation, layers, protection_masks)
+            plan = self.plan(
+                model,
+                variation,
+                layers,
+                protection_masks,
+                tolerance=tolerance,
+                max_samples=max_samples,
+                min_samples=min_samples,
+            )
             return execute(plan, model, self.dataset)
         finally:
             model.train(was_training)
 
     # ------------------------------------------------------------------
+    def evaluate_grid(
+        self,
+        model: Module,
+        points: Sequence[
+            Tuple[
+                "VariationLike",
+                Optional[Sequence[Module]],
+                Optional[Dict[str, np.ndarray]],
+            ]
+        ],
+        *,
+        tolerance: Optional[float] = None,
+        draw_budget: Optional[int] = None,
+        min_samples: Optional[int] = None,
+    ) -> List[MCResult]:
+        """Adaptive evaluation of many ``(variation, layers, masks)`` points
+        against one shared draw budget.
+
+        Each point gets its own plan (same seed — results are paired) and
+        an :class:`~repro.evaluation.executor.IncrementalEvaluation`; the
+        budget is round-robined chunk-by-chunk to the points with the
+        widest current confidence intervals
+        (:func:`~repro.evaluation.sequential.allocate_draws`), so
+        saturated or collapsed points stop early and draws concentrate
+        where the answer is still unknown. ``draw_budget`` defaults to
+        ``len(points) * n_samples`` — with a ``tolerance`` that means
+        "spend at most what fixed-S would, stopping wherever the interval
+        is already tight"; without one, points only stop at their sample
+        cap. Each point's draws remain a contiguous prefix of its own
+        seed schedule, so the paired-prefix contract holds per point no
+        matter how the budget is interleaved.
+        """
+        tolerance = self.tolerance if tolerance is None else tolerance
+        budget = (
+            len(points) * self.n_samples if draw_budget is None else draw_budget
+        )
+        was_training = model.training
+        model.eval()
+        try:
+            with ExitStack() as stack:
+                evaluations = [
+                    stack.enter_context(
+                        IncrementalEvaluation(
+                            self.plan(
+                                model,
+                                variation,
+                                layers,
+                                masks,
+                                tolerance=tolerance,
+                                min_samples=min_samples,
+                            ),
+                            model,
+                            self.dataset,
+                        )
+                    )
+                    for variation, layers, masks in points
+                ]
+                allocate_draws(
+                    evaluations,
+                    budget,
+                    lambda accs: half_width(
+                        accs, self.ci_confidence, self.ci_method
+                    ),
+                )
+            return [evaluation.result() for evaluation in evaluations]
+        finally:
+            model.train(was_training)
+
     def sweep_sigma(
         self,
         model: Module,
@@ -240,6 +430,10 @@ class MonteCarloEvaluator:
         sigmas: Sequence[float],
         layers: Optional[Sequence[Module]] = None,
         protection_masks: Optional[Dict[str, np.ndarray]] = None,
+        *,
+        tolerance: Optional[float] = None,
+        draw_budget: Optional[int] = None,
+        min_samples: Optional[int] = None,
     ) -> List[MCResult]:
         """Evaluate across a magnitude grid by rescaling ``variation``
         (Fig. 2 / Fig. 7 x-axes). This is the grid form of
@@ -248,11 +442,27 @@ class MonteCarloEvaluator:
         specs scale every component, per-layer maps scale every override.
         The base spec's magnitude must be non-zero so scaling is well
         defined. ``layers`` and ``protection_masks`` are forwarded to every
-        :meth:`evaluate` call, so layer subsets (Fig. 9) and protection
-        baselines can be swept."""
+        point, so layer subsets (Fig. 9) and protection baselines can be
+        swept.
+
+        A ``tolerance`` (here or on the evaluator) or a ``draw_budget``
+        routes the sweep through :meth:`evaluate_grid`: one shared budget,
+        chunks allocated to the widest-interval sigma points first."""
         variation = parse_spec(variation)
         if variation.magnitude <= 0:
             raise ValueError("sweep requires a variation with positive magnitude")
+        tolerance = self.tolerance if tolerance is None else tolerance
+        if tolerance is not None or draw_budget is not None:
+            return self.evaluate_grid(
+                model,
+                [
+                    (scale_to(variation, sigma), layers, protection_masks)
+                    for sigma in sigmas
+                ],
+                tolerance=tolerance,
+                draw_budget=draw_budget,
+                min_samples=min_samples,
+            )
         return [
             self.evaluate(
                 model,

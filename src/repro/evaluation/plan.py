@@ -46,6 +46,14 @@ Plan axes
   advance per MVM call, so all analog execution must share one blocking);
   stacked sweeps always use ``data_block`` (stacked intermediates are S
   times larger, so blocks stay cache-sized).
+- **Stopping rule.** ``n_samples`` is a cap, not necessarily the count: a
+  plan may carry a :class:`~repro.evaluation.sequential.StoppingRule`
+  (built from ``tolerance`` — see
+  :class:`~repro.evaluation.sequential.HalfWidthRule`) that the executor
+  consults at chunk boundaries, in seed-schedule order, on every backend.
+  Because chunks are slices of the one seed schedule and the decision
+  points are the same everywhere, the stop point is engine-invariant and
+  an adaptive run's draws are a bitwise prefix of the fixed-S run.
 """
 
 from __future__ import annotations
@@ -57,6 +65,7 @@ import numpy as np
 import numpy.typing as npt
 
 from repro.data.dataset import ArrayDataset
+from repro.evaluation.sequential import HalfWidthRule, StoppingRule
 from repro.evaluation.vectorized import supports_sample_axis
 from repro.hardware.analog_layers import analog_layers, has_read_noise
 from repro.nn.module import Module
@@ -97,6 +106,9 @@ class EvalPlan:
     n_workers: int = 0
     #: Pool workers run stacked chunks instead of the per-draw loop.
     worker_vectorized: bool = False
+    #: Sequential early stopping, consulted at chunk boundaries only;
+    #: ``None`` (and ``FixedSamples``) runs the full ``n_samples`` cap.
+    stopping: Optional[StoppingRule] = None
     layers: Optional[Sequence[Module]] = None
     protection_masks: Optional[Dict[str, npt.NDArray[Any]]] = None
 
@@ -205,6 +217,11 @@ def build_plan(
     layers: Optional[Sequence[Module]] = None,
     protection_masks: Optional[Dict[str, npt.NDArray[Any]]] = None,
     worker_vectorized: Optional[bool] = None,
+    tolerance: Optional[float] = None,
+    min_samples: Optional[int] = None,
+    ci_confidence: float = 0.95,
+    ci_method: str = "clt",
+    stopping: Optional[StoppingRule] = None,
 ) -> EvalPlan:
     """Resolve one Monte-Carlo evaluation into an :class:`EvalPlan`.
 
@@ -214,9 +231,25 @@ def build_plan(
     ``worker_vectorized`` defaults to the model's stacked-kernel
     eligibility; benchmarks pass ``False`` to time legacy per-draw pool
     workers against the hybrid.
+
+    Sequential stopping: an explicit ``stopping`` rule wins; otherwise a
+    ``tolerance`` builds a
+    :class:`~repro.evaluation.sequential.HalfWidthRule` from
+    ``min_samples`` / ``ci_confidence`` / ``ci_method``, and ``n_samples``
+    becomes the draw cap rather than the exact count.
     """
     if n_samples <= 0:
         raise ValueError(f"n_samples must be positive, got {n_samples}")
+    if stopping is None and tolerance is not None:
+        if min_samples is None:
+            stopping = HalfWidthRule(
+                tolerance=tolerance, confidence=ci_confidence, method=ci_method
+            )
+        else:
+            stopping = HalfWidthRule(
+                tolerance=tolerance, confidence=ci_confidence,
+                method=ci_method, min_samples=min_samples,
+            )
     resolved = parse_spec(variation)
     analog = bool(analog_layers(model))
     if analog and (layers is not None or protection_masks):
@@ -262,6 +295,7 @@ def build_plan(
         chunk_samples=chunk,
         n_workers=n_workers,
         worker_vectorized=bool(worker_vectorized),
+        stopping=stopping,
         layers=None if layers is None else list(layers),
         protection_masks=protection_masks,
     )

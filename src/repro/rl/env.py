@@ -83,6 +83,10 @@ class CompensationEnv:
             n_workers=eval_config.n_workers,
             sample_chunk=eval_config.chunk_samples,
             memory_budget_mb=eval_config.memory_budget_mb,
+            tolerance=eval_config.tolerance,
+            min_samples=eval_config.min_samples,
+            ci_confidence=eval_config.ci_confidence,
+            ci_method=eval_config.ci_method,
         )
         self._cache: Dict[Tuple[float, ...], EnvOutcome] = {}
 

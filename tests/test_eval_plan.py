@@ -213,6 +213,88 @@ class TestPlanExecutionParity:
         for name, param in lenet.named_parameters():
             np.testing.assert_array_equal(param.data, before[name])
 
+class TestPairedPrefix:
+    """Adaptive draws are a bitwise prefix of fixed-S, per backend x family.
+
+    The sequential layer's whole contract: because stopping decisions only
+    happen at chunk boundaries of the one seed schedule, an adaptive run
+    can never change *what* a draw computes — only how many draws run.
+    """
+
+    N_SAMPLES = 12
+
+    @pytest.mark.parametrize("backend_kwargs", [
+        dict(vectorized=False),                 # loop
+        dict(vectorized=True),                  # vectorized
+        dict(vectorized=False, n_workers=2),    # pool (chunk tasks)
+    ], ids=["loop", "vectorized", "pool"])
+    def test_adaptive_is_bitwise_prefix_of_fixed(self, lenet, tiny_test,
+                                                 backend_kwargs):
+        for name, model, variation in _families(lenet):
+            fixed = MonteCarloEvaluator(
+                tiny_test, n_samples=self.N_SAMPLES, seed=13,
+                chunk_samples=2, **backend_kwargs,
+            ).evaluate(model, variation)
+            adaptive = MonteCarloEvaluator(
+                tiny_test, n_samples=self.N_SAMPLES, seed=13,
+                chunk_samples=2, tolerance=0.2, min_samples=2,
+                **backend_kwargs,
+            ).evaluate(model, variation)
+            k = adaptive.n_samples_used
+            assert 0 < k <= self.N_SAMPLES, name
+            assert adaptive.accuracies == fixed.accuracies[:k], name
+            assert adaptive.stopped_early == (k < self.N_SAMPLES), name
+
+    def test_stop_point_agrees_across_backends(self, lenet, tiny_test):
+        for name, model, variation in _families(lenet):
+            used = {
+                MonteCarloEvaluator(
+                    tiny_test, n_samples=self.N_SAMPLES, seed=13,
+                    chunk_samples=2, tolerance=0.2, min_samples=2, **kwargs,
+                ).evaluate(model, variation).n_samples_used
+                for kwargs in (dict(vectorized=False),
+                               dict(vectorized=True),
+                               dict(vectorized=False, n_workers=2))
+            }
+            assert len(used) == 1, name
+
+
+class TestShardReassembly:
+    """Pool shard results reassemble in seed-schedule order (regression:
+    the accuracies list must be stable under pooling so downstream CI
+    computation is backend-invariant)."""
+
+    def test_shuffled_shards_reassemble_in_schedule_order(self):
+        from repro.evaluation import reassemble_shards
+
+        parts = [(0, [0.1, 0.2]), (1, [0.3, 0.4]), (2, [0.5])]
+        expected = [0.1, 0.2, 0.3, 0.4, 0.5]
+        # Every completion order — including fully reversed — reassembles
+        # identically.
+        import itertools
+
+        for order in itertools.permutations(parts):
+            assert reassemble_shards(list(order)) == expected
+
+    def test_missing_or_duplicate_shards_rejected(self):
+        from repro.evaluation import reassemble_shards
+
+        with pytest.raises(ValueError, match="shard indices"):
+            reassemble_shards([(0, [0.1]), (2, [0.2])])
+        with pytest.raises(ValueError, match="shard indices"):
+            reassemble_shards([(0, [0.1]), (0, [0.2])])
+
+    def test_pool_accuracies_match_loop_order(self, lenet, tiny_test):
+        variation = LogNormalVariation(0.4)
+        loop = MonteCarloEvaluator(tiny_test, n_samples=6, seed=5).evaluate(
+            lenet, variation)
+        pool = MonteCarloEvaluator(tiny_test, n_samples=6, seed=5,
+                                   n_workers=3).evaluate(lenet, variation)
+        assert pool.accuracies == loop.accuracies
+
+
+class TestPlanRestoration:
+
     def test_programming_restored_after_chunked_pool(self, lenet, tiny_test):
         analog = analogize(lenet, tile_size=32, read_noise_sigma=0.001)
         tiles = [

@@ -44,8 +44,55 @@ class TestMarginReport:
         margin_report(mlp, blob_dataset)
         assert mlp.training
 
+    def test_empty_margins_edge_cases(self):
+        """An all-wrong model yields an empty margin set; every statistic
+        must degrade gracefully instead of raising on empty arrays."""
+        from repro.evaluation import MarginReport
+
+        report = MarginReport(
+            margins=np.zeros(0, dtype=np.float64), clean_accuracy=0.0
+        )
+        assert report.mean == 0.0
+        assert report.median == 0.0
+        assert report.fraction_below(1.0) == 0.0
+        assert report.mean_logit_shift is None
+
+    def test_margins_match_manual_top2_gap(self, mlp, blob_dataset):
+        from repro.autograd import no_grad, Tensor
+
+        report = margin_report(mlp, blob_dataset)
+        mlp.eval()
+        with no_grad():
+            logits = mlp(Tensor(blob_dataset.images)).data
+        hit = logits.argmax(axis=1) == blob_dataset.labels
+        top2 = np.sort(logits, axis=1)[:, -2:]
+        expected = (top2[:, 1] - top2[:, 0])[hit]
+        np.testing.assert_allclose(report.margins, expected)
+
+    def test_batching_does_not_change_report(self, mlp, blob_dataset):
+        whole = margin_report(mlp, blob_dataset, batch_size=len(blob_dataset))
+        batched = margin_report(mlp, blob_dataset, batch_size=3)
+        assert whole.clean_accuracy == batched.clean_accuracy
+        np.testing.assert_array_equal(whole.margins, batched.margins)
+
 
 class TestLogitShift:
+    def test_shift_is_deterministic(self, mlp, blob_dataset):
+        kwargs = dict(n_samples=4, seed=6)
+        first = logit_shift_under_variation(
+            mlp, blob_dataset, LogNormalVariation(0.4), **kwargs
+        )
+        second = logit_shift_under_variation(
+            mlp, blob_dataset, LogNormalVariation(0.4), **kwargs
+        )
+        assert first == second
+
+    def test_restores_training_mode(self, mlp, blob_dataset):
+        mlp.train()
+        logit_shift_under_variation(
+            mlp, blob_dataset, LogNormalVariation(0.2), n_samples=2, seed=0
+        )
+        assert mlp.training
     def test_no_variation_zero_shift(self, mlp, blob_dataset):
         shift = logit_shift_under_variation(
             mlp, blob_dataset, NoVariation(), n_samples=2, seed=0
