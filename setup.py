@@ -47,6 +47,8 @@ setup(
             "correctnet-train=repro.cli:train_main",
             "correctnet-eval=repro.cli:eval_main",
             "correctnet-search=repro.cli:search_main",
+            "correctnet-jobs=repro.store.cli:jobs_main",
+            "correctnet-query=repro.store.cli:query_main",
             "correctnet-lint=repro.lint.cli:main",
         ],
     },

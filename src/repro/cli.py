@@ -3,8 +3,11 @@
 ``correctnet-train`` — train a model (optionally Lipschitz-regularized) and
 save it; ``correctnet-eval`` — Monte-Carlo evaluate a saved model under
 variations; ``correctnet-search`` — run the full CorrectNet pipeline and
-print the Table-I style row. ``python -m repro.cli {train,eval,search}``
-dispatches to the same entry points without installed console scripts.
+print the Table-I style row; ``correctnet-jobs`` / ``correctnet-query`` —
+the evaluation service (fingerprinted result store + resumable job
+runner, see ``repro.store``). ``python -m repro.cli
+{train,eval,search,jobs,query}`` dispatches to the same entry points
+without installed console scripts.
 
 Variation scenarios are named on the command line through the spec grammar
 (see ``repro.variation.spec``): ``--variation "lognormal:0.5+quant:4"``
@@ -176,6 +179,11 @@ def eval_main(argv: Optional[List[str]] = None) -> int:
         "contract across invocations",
     )
     parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the result as JSON on stdout (same numbers as the "
+        "table, plus the serialized MCResult) instead of the table",
+    )
+    parser.add_argument(
         "--analog", action="store_true",
         help="deploy the checkpoint onto simulated RRAM crossbars "
         "(repro.hardware.analogize) before evaluating; --variation then "
@@ -257,6 +265,25 @@ def eval_main(argv: Optional[List[str]] = None) -> int:
 
         with open(args.dump_accuracies, "w") as fh:
             json.dump(result.accuracies, fh)
+    if args.as_json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "variation": to_string(variation),
+                    "clean_accuracy": float(clean),
+                    "mean": result.mean,
+                    "std": result.std,
+                    "ci95": result.ci_half_width,
+                    "draws": result.n_samples_used,
+                    "result": result.to_dict(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     print(
         format_table(
             ["variation", "clean acc %", "mean acc %", "std %",
@@ -305,10 +332,30 @@ def search_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def jobs_main(argv: Optional[List[str]] = None) -> int:
+    """``correctnet-jobs``: submit/run/status/gc against a result store.
+
+    Imported lazily so plain train/eval invocations never pay for (or
+    depend on) the store package.
+    """
+    from repro.store.cli import jobs_main as real_jobs_main
+
+    return real_jobs_main(argv)
+
+
+def query_main(argv: Optional[List[str]] = None) -> int:
+    """``correctnet-query``: reconstruct results from a store file."""
+    from repro.store.cli import query_main as real_query_main
+
+    return real_query_main(argv)
+
+
 _COMMANDS = {
     "train": train_main,
     "eval": eval_main,
     "search": search_main,
+    "jobs": jobs_main,
+    "query": query_main,
 }
 
 

@@ -98,6 +98,12 @@ class EvalConfig:
     # both stop decisions and reported ci_low/ci_high.
     ci_confidence: float = 0.95
     ci_method: str = "clt"
+    # Opt-in result store (see repro.store): when set, the pipeline's
+    # full-protocol evaluations go through the fingerprinted cache at this
+    # sqlite path — a repeated evaluation of identical logical inputs
+    # becomes a lookup instead of a Monte-Carlo run. None = evaluate
+    # directly, no store file involved.
+    store_path: Optional[str] = None
 
 
 @dataclass

@@ -176,6 +176,22 @@ class CorrectNet:
             ci_method=cfg.ci_method,
         )
 
+    def _full_evaluate(self, evaluator: MonteCarloEvaluator, model: Module) -> MCResult:
+        """Full-protocol Monte-Carlo evaluation of ``model``.
+
+        With ``config.eval.store_path`` set this goes through the
+        fingerprinted result store (``repro.store``): identical logical
+        inputs — weights, dataset, spec, seed schedule, stopping — become
+        a cache lookup instead of a fresh run. The import stays lazy so
+        store-less pipelines never touch sqlite.
+        """
+        store_path = self.config.eval.store_path
+        if store_path is None:
+            return evaluator.evaluate(model, self.variation)
+        from repro.store.runner import cached_evaluate
+
+        return cached_evaluate(store_path, evaluator, model, self.variation)
+
     def find_candidates(self, original_accuracy: float) -> List[int]:
         evaluator = self._evaluator(self.config.eval.search_samples)
         candidates = select_candidates(
@@ -253,7 +269,7 @@ class CorrectNet:
         original_accuracy = accuracy(self.model, self.test_data)
 
         final_evaluator = self._evaluator(self.config.eval.n_samples)
-        degraded = final_evaluator.evaluate(self.model, self.variation)
+        degraded = self._full_evaluate(final_evaluator, self.model)
         logger.info(
             "original %.4f | degraded %.4f±%.4f",
             original_accuracy,
@@ -271,7 +287,7 @@ class CorrectNet:
             plan = CompensationPlan()
 
         corrected_model = self.finalize(plan)
-        corrected = final_evaluator.evaluate(corrected_model, self.variation)
+        corrected = self._full_evaluate(final_evaluator, corrected_model)
         overhead = plan_overhead(self.model, corrected_model)
 
         return CorrectNetResult(

@@ -55,6 +55,7 @@ from concurrent.futures import as_completed, Future, ProcessPoolExecutor
 from typing import (
     TYPE_CHECKING,
     Any,
+    Callable,
     ContextManager,
     Dict,
     Iterable,
@@ -300,6 +301,13 @@ def _result(plan: EvalPlan, accuracies: List[float]) -> "MCResult":
     )
 
 
+#: Per-chunk emit hook: called with ``(chunk_index, start, stop, chunk_accs)``
+#: right after a chunk's draws land (before the stopping rule is consulted).
+#: The result-store runner persists chunks through this seam; anything else
+#: that wants streaming progress (progress bars, live dashboards) can too.
+ChunkHook = Callable[[int, int, int, Sequence[float]], None]
+
+
 class IncrementalEvaluation:
     """Resumable chunk-by-chunk in-process execution of one plan.
 
@@ -312,14 +320,28 @@ class IncrementalEvaluation:
     many of these against one shared budget — each instance's draws stay a
     contiguous prefix of its own schedule regardless of interleaving.
 
+    ``on_chunk`` is the per-chunk emit hook (see :data:`ChunkHook`);
+    :meth:`resume` replays a previously-emitted prefix so an interrupted
+    evaluation continues exactly where it stopped — because chunk content
+    is a pure function of (plan, seed schedule), the resumed run is
+    bitwise-identical to an uninterrupted one, including where an adaptive
+    rule would have stopped it.
+
     Use as a context manager: entry opens the adapter's run context
     (weight restoration / analog chip-state snapshot), exit restores it.
     """
 
-    def __init__(self, plan: EvalPlan, model: Module, dataset: ArrayDataset) -> None:
+    def __init__(
+        self,
+        plan: EvalPlan,
+        model: Module,
+        dataset: ArrayDataset,
+        on_chunk: Optional[ChunkHook] = None,
+    ) -> None:
         self.plan = plan
         self.model = model
         self.dataset = dataset
+        self.on_chunk = on_chunk
         self.accuracies: List[float] = []
         self.adapter: ModelAdapter = make_adapter(model, plan)
         if plan.deterministic:
@@ -338,6 +360,43 @@ class IncrementalEvaluation:
     def done(self) -> bool:
         """True once the rule fired or the seed schedule is exhausted."""
         return self._stopped or self._next >= len(self._bounds)
+
+    def resume(self, prefix: Sequence[float]) -> None:
+        """Install a previously-evaluated draw prefix and skip its chunks.
+
+        ``prefix`` must be the accuracies an earlier run of the *same*
+        plan emitted, chunk-aligned (an interrupted run only ever persists
+        whole chunks through ``on_chunk``). The stopping rule is replayed
+        at every stored chunk boundary — the identical decision points the
+        original run used — so a prefix that already satisfies the rule
+        marks the evaluation done, and a prefix extending past where the
+        rule fires is rejected as corrupt rather than silently truncated.
+        Must be called before any :meth:`run_chunk`.
+        """
+        if self._next or self.accuracies:
+            raise RuntimeError("resume() must precede any run_chunk()")
+        consumed = 0
+        while consumed < len(prefix):
+            if self._next >= len(self._bounds) or self._stopped:
+                raise ValueError(
+                    f"stored prefix of {len(prefix)} draws extends past "
+                    "the plan's schedule or its stop point"
+                )
+            start, stop = self._bounds[self._next]
+            if len(prefix) - consumed < stop - start:
+                raise ValueError(
+                    f"stored prefix of {len(prefix)} draws is not aligned "
+                    f"to the plan's chunk schedule (chunk {self._next} "
+                    f"covers draws [{start}, {stop}))"
+                )
+            self.accuracies.extend(
+                float(a) for a in prefix[consumed : consumed + (stop - start)]
+            )
+            consumed += stop - start
+            self._next += 1
+            rule = self.plan.stopping
+            if rule is not None and rule.satisfied(self.accuracies):
+                self._stopped = True
 
     def __enter__(self) -> "IncrementalEvaluation":
         self._ctx = self.adapter.run_context()
@@ -359,6 +418,7 @@ class IncrementalEvaluation:
         if self.done:
             return 0
         start, stop = self._bounds[self._next]
+        index = self._next
         self._next += 1
         if self.plan.deterministic:
             self.accuracies.append(
@@ -386,6 +446,8 @@ class IncrementalEvaluation:
                         self.model, self.dataset, self.adapter, self.plan, chunk
                     )
                 )
+        if self.on_chunk is not None:
+            self.on_chunk(index, start, stop, self.accuracies[start - stop :])
         rule = self.plan.stopping
         if rule is not None and rule.satisfied(self.accuracies):
             self._stopped = True
@@ -467,7 +529,12 @@ def _run_pool_adaptive(
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
-def execute(plan: EvalPlan, model: Module, dataset: ArrayDataset) -> "MCResult":
+def execute(
+    plan: EvalPlan,
+    model: Module,
+    dataset: ArrayDataset,
+    on_chunk: Optional[ChunkHook] = None,
+) -> "MCResult":
     """Run ``plan`` against ``model``/``dataset``; returns an ``MCResult``.
 
     The model must be in the mode the plan was built against (the
@@ -475,14 +542,26 @@ def execute(plan: EvalPlan, model: Module, dataset: ArrayDataset) -> "MCResult":
     no variation to sample, no read noise — short-circuit to a single
     nominal evaluation. Plans carrying a stopping rule run chunk-by-chunk
     and may halt before the ``n_samples`` cap (``MCResult.stopped_early``).
+
+    ``on_chunk`` streams each chunk's draws to the caller as it lands (the
+    result store persists restart points through it). Only the in-process
+    backends evaluate chunks in schedule order in this process, so the
+    hook is rejected on the pool backend rather than delivering shards
+    out of order or from worker processes.
     """
-    if plan.deterministic:
+    if on_chunk is not None and plan.backend == "pool" and not plan.deterministic:
+        raise ValueError(
+            "on_chunk streams chunks in schedule order from this process; "
+            "the pool backend completes shards out of order in workers — "
+            "use an in-process backend (loop/vectorized) for streaming"
+        )
+    if plan.deterministic and on_chunk is None:
         return _result(plan, [accuracy(model, dataset, plan.batch_size)])
-    if plan.backend == "pool":
+    if plan.backend == "pool" and not plan.deterministic:
         if plan.stopping is not None:
             return _run_pool_adaptive(plan, model, dataset)
         return _run_pool(plan, model, dataset)
-    evaluation = IncrementalEvaluation(plan, model, dataset)
+    evaluation = IncrementalEvaluation(plan, model, dataset, on_chunk=on_chunk)
     with evaluation:
         while not evaluation.done:
             evaluation.run_chunk()

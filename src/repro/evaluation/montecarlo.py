@@ -55,7 +55,7 @@ from __future__ import annotations
 
 from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -145,6 +145,40 @@ class MCResult:
         """Half the confidence-interval width — what ``tolerance`` bounds."""
         low, high = self._interval()
         return (high - low) / 2.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-serializable payload; inverse of :meth:`from_dict`.
+
+        ``accuracies`` is coerced element-by-element to plain ``float``
+        (numpy scalars and arrays become lists), so the payload survives
+        ``json.dumps`` and the round-trip restores the exact per-draw
+        values — the property the result store's bitwise resume/diff
+        guarantees rest on. All PR-7 CI fields (``stopped_early``,
+        ``confidence``, ``ci_method``) travel with the draws, so a
+        deserialized result reports the same ``ci_low``/``ci_high`` the
+        original stop decision was made with.
+        """
+        return {
+            "accuracies": [float(a) for a in np.asarray(self.accuracies).ravel()],
+            "stopped_early": bool(self.stopped_early),
+            "confidence": float(self.confidence),
+            "ci_method": str(self.ci_method),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MCResult":
+        """Rebuild a result from a :meth:`to_dict` payload."""
+        unknown = sorted(
+            set(payload) - {"accuracies", "stopped_early", "confidence", "ci_method"}
+        )
+        if unknown:
+            raise ValueError(f"unknown MCResult fields: {unknown}")
+        return cls(
+            accuracies=[float(a) for a in payload.get("accuracies", [])],
+            stopped_early=bool(payload.get("stopped_early", False)),
+            confidence=float(payload.get("confidence", 0.95)),
+            ci_method=str(payload.get("ci_method", "clt")),
+        )
 
     def __repr__(self) -> str:
         if not self.accuracies:

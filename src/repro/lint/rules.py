@@ -24,8 +24,11 @@ from typing import FrozenSet, Iterator, List, Optional, Sequence, Tuple, Type
 from repro.lint.engine import ClassInfo, LintContext, Rule, SourceFile, Violation
 
 #: Engine paths: code on the Monte-Carlo hot path, where results must be a
-#: pure function of (model, dataset, spec, seed schedule).
-ENGINE_DIR_NAMES = ("evaluation", "hardware", "variation")
+#: pure function of (model, dataset, spec, seed schedule) — plus the
+#: result store, whose fingerprints and persisted chunks must stay exactly
+#: that pure (wall-clock for lease bookkeeping enters only through an
+#: injected clock, never a direct call).
+ENGINE_DIR_NAMES = ("evaluation", "hardware", "variation", "store")
 
 #: Where layer/model classes live: every ``Module`` subclass here is a
 #: candidate for the vectorized engine's eligibility walk.

@@ -1,0 +1,239 @@
+"""Serializable evaluation jobs: the payload the store schedules.
+
+A :class:`JobRequest` is everything a runner on *any* machine needs to
+reconstruct one Monte-Carlo evaluation: registry names for model and
+dataset, the build seed, an optional checkpoint, the variation spec as a
+``to_dict`` payload, the sample cap and eval seed, the stopping/CI
+params, and optional analog-deployment parameters. Execution knobs
+(``chunk_samples``, ``batch_size``, ``data_block``) travel with the
+request but never enter the fingerprint — with one wrinkle worth
+recording: for *adaptive* jobs the chunk schedule decides where the
+stopping rule is consulted, so :func:`materialize` pins the resolved
+``chunk_samples`` into the plan. Submitting resolves it once (the first
+submission's request is what the store keeps), which is what makes an
+interrupted-and-resumed adaptive job land on exactly the chunk
+boundaries — and therefore exactly the stop point — of an uninterrupted
+run.
+
+Fingerprint integrity: the fingerprint is computed from the
+*materialized* evaluation (weights digest after loading the checkpoint,
+dataset digest, resolved spec), not from the request text. The runner
+re-materializes and recomputes it before executing, so a checkpoint file
+that changed between submit and run fails the job loudly instead of
+poisoning the cache under the old fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+
+from repro.data import synth_cifar10, synth_cifar100, synth_mnist
+from repro.data.dataset import ArrayDataset
+from repro.evaluation.plan import build_plan, EvalPlan
+from repro.models.registry import build_model
+from repro.nn.module import Module
+from repro.store.fingerprint import (
+    canonical_json,
+    dataset_digest,
+    fingerprint_payload,
+    weights_digest,
+)
+from repro.variation.spec import from_dict as spec_from_dict
+
+#: Dataset registry shared with the CLIs (name -> (train, test) factory).
+DATASET_FACTORIES: Dict[str, Callable[[], Tuple[ArrayDataset, ArrayDataset]]] = {
+    "synth_mnist": synth_mnist,
+    "synth_cifar10": synth_cifar10,
+    "synth_cifar100": synth_cifar100,
+}
+
+
+@dataclass(frozen=True)
+class AnalogParams:
+    """Crossbar-deployment parameters (part of the *logical* evaluation:
+    converter resolutions and read noise change what is computed)."""
+
+    tile_size: int = 128
+    dac_bits: Optional[int] = None
+    adc_bits: Optional[int] = None
+    read_noise: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tile_size": self.tile_size,
+            "dac_bits": self.dac_bits,
+            "adc_bits": self.adc_bits,
+            "read_noise": self.read_noise,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "AnalogParams":
+        return cls(
+            tile_size=int(payload.get("tile_size", 128)),
+            dac_bits=(
+                None
+                if payload.get("dac_bits") is None
+                else int(payload["dac_bits"])
+            ),
+            adc_bits=(
+                None
+                if payload.get("adc_bits") is None
+                else int(payload["adc_bits"])
+            ),
+            read_noise=float(payload.get("read_noise", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One evaluation as a portable payload (see module docstring)."""
+
+    model: str
+    dataset: str
+    variation: Dict[str, Any]
+    n_samples: int
+    seed: Union[int, str]
+    model_seed: int = 0
+    checkpoint: Optional[str] = None
+    tolerance: Optional[float] = None
+    min_samples: Optional[int] = None
+    ci_confidence: float = 0.95
+    ci_method: str = "clt"
+    analog: Optional[AnalogParams] = None
+    # Execution knobs: recorded for reproducible scheduling, excluded
+    # from the fingerprint.
+    chunk_samples: Optional[int] = None
+    batch_size: int = 256
+    data_block: int = 64
+    # Sweep grouping metadata (what correctnet-query reconstructs curves
+    # by); never fingerprinted.
+    sweep_key: Optional[str] = None
+    sweep_param: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "model": self.model,
+            "dataset": self.dataset,
+            "variation": self.variation,
+            "n_samples": self.n_samples,
+            "seed": self.seed,
+            "model_seed": self.model_seed,
+            "checkpoint": self.checkpoint,
+            "tolerance": self.tolerance,
+            "min_samples": self.min_samples,
+            "ci_confidence": self.ci_confidence,
+            "ci_method": self.ci_method,
+            "analog": None if self.analog is None else self.analog.to_dict(),
+            "chunk_samples": self.chunk_samples,
+            "batch_size": self.batch_size,
+            "data_block": self.data_block,
+            "sweep_key": self.sweep_key,
+            "sweep_param": self.sweep_param,
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "JobRequest":
+        seed = payload["seed"]
+        if not isinstance(seed, (int, str)) or isinstance(seed, bool):
+            raise ValueError(f"job seed must be int or str, got {seed!r}")
+        analog = payload.get("analog")
+        return cls(
+            model=str(payload["model"]),
+            dataset=str(payload["dataset"]),
+            variation=dict(payload["variation"]),
+            n_samples=int(payload["n_samples"]),
+            seed=seed,
+            model_seed=int(payload.get("model_seed", 0)),
+            checkpoint=payload.get("checkpoint"),
+            tolerance=payload.get("tolerance"),
+            min_samples=payload.get("min_samples"),
+            ci_confidence=float(payload.get("ci_confidence", 0.95)),
+            ci_method=str(payload.get("ci_method", "clt")),
+            analog=None if analog is None else AnalogParams.from_dict(analog),
+            chunk_samples=payload.get("chunk_samples"),
+            batch_size=int(payload.get("batch_size", 256)),
+            data_block=int(payload.get("data_block", 64)),
+            sweep_key=payload.get("sweep_key"),
+            sweep_param=payload.get("sweep_param"),
+        )
+
+
+@dataclass(frozen=True)
+class Materialized:
+    """A request turned back into runnable objects plus its identity."""
+
+    request: JobRequest
+    model: Module
+    dataset: ArrayDataset
+    plan: EvalPlan
+    fingerprint: str
+
+
+def materialize(request: JobRequest) -> Materialized:
+    """Rebuild (model, dataset, plan) from a request and fingerprint it.
+
+    The weights digest is taken *before* any analog conversion — the
+    logical model identity is the trained weights plus the deployment
+    parameters, not the programmed conductance state (which variation
+    draws rewrite anyway). The returned request has ``chunk_samples``
+    pinned to the plan's resolved value, so persisting it (submit does)
+    freezes the chunk schedule every later runner must follow.
+    """
+    try:
+        factory = DATASET_FACTORIES[request.dataset]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {request.dataset!r}; choose from "
+            f"{sorted(DATASET_FACTORIES)}"
+        ) from None
+    train, test = factory()
+    model = build_model(request.model, train, seed=request.model_seed)
+    if request.checkpoint is not None:
+        model.load(request.checkpoint)
+    model.eval()
+    model_digest = weights_digest(model)
+    analog_payload: Optional[Dict[str, Any]] = None
+    if request.analog is not None:
+        from repro.hardware import ADC, DAC, analogize
+
+        analog_payload = request.analog.to_dict()
+        analogize(
+            model,
+            tile_size=request.analog.tile_size,
+            dac=DAC(request.analog.dac_bits),
+            adc=ADC(request.analog.adc_bits),
+            read_noise_sigma=request.analog.read_noise,
+            seed=request.seed,
+        )
+    spec = spec_from_dict(request.variation)
+    plan = build_plan(
+        model,
+        test,
+        spec,
+        n_samples=request.n_samples,
+        seed=request.seed,
+        batch_size=request.batch_size,
+        vectorized=True,  # in-process backend; falls back to loop
+        n_workers=0,
+        data_block=request.data_block,
+        chunk_samples=request.chunk_samples,
+        tolerance=request.tolerance,
+        min_samples=request.min_samples,
+        ci_confidence=request.ci_confidence,
+        ci_method=request.ci_method,
+    )
+    payload = fingerprint_payload(
+        plan, model_digest, dataset_digest(test), analog_payload
+    )
+    digest = hashlib.sha256(canonical_json(payload).encode("ascii")).hexdigest()
+    pinned = replace(request, chunk_samples=plan.chunk_samples)
+    return Materialized(
+        request=pinned,
+        model=model,
+        dataset=test,
+        plan=plan,
+        fingerprint=digest,
+    )

@@ -1,0 +1,135 @@
+"""Read side of the evaluation service: sweep curves out of the store.
+
+``correctnet-query`` (and anything else that wants finished numbers)
+reconstructs results without touching a model: job rows grouped by
+``sweep_key`` become curve points ordered by ``sweep_param``, each
+carrying the finalized :class:`~repro.evaluation.montecarlo.MCResult`
+rebuilt from its stored payload. Statistics (mean, std, ci95) come from
+the *same* ``MCResult`` properties ``correctnet-eval`` prints, so a
+queried curve and a directly-evaluated one agree column for column —
+the bitwise contract the CI smoke scenario diffs.
+
+Jobs that are still pending/running/failed appear as points without a
+result (with the draw count persisted so far), so ``status`` and partial
+curves fall out of the same query.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.evaluation.montecarlo import MCResult
+from repro.store.db import JobRow, ResultStore
+from repro.variation.spec import from_dict as spec_from_dict, to_string
+
+#: Sweep-table header, aligned with ``correctnet-eval``'s output columns
+#: (minus ``clean acc %``, which needs a model forward pass, not a store).
+SWEEP_HEADER = ["param", "variation", "state", "mean acc %", "std %",
+                "ci95 ±%", "draws"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One curve point: a job row joined with its finalized result."""
+
+    fingerprint: str
+    sweep_param: Optional[float]
+    state: str
+    #: Human form of the variation spec the job evaluates.
+    variation: str
+    #: Finalized result; ``None`` while the job is pending/running/failed.
+    result: Optional[MCResult]
+    #: Draws persisted so far (equals ``len(result.accuracies)`` once done).
+    draws: int
+
+    def row(self) -> List[object]:
+        """One :data:`SWEEP_HEADER` table row (blank stats until done)."""
+        param = "" if self.sweep_param is None else self.sweep_param
+        if self.result is None:
+            return [param, self.variation, self.state, "", "", "", self.draws]
+        return [
+            param,
+            self.variation,
+            self.state,
+            100 * self.result.mean,
+            100 * self.result.std,
+            100 * self.result.ci_half_width,
+            self.result.n_samples_used,
+        ]
+
+    def payload(self) -> Dict[str, Any]:
+        """JSON form (``correctnet-query --json``); mirrors :meth:`row`."""
+        body: Dict[str, Any] = {
+            "fingerprint": self.fingerprint,
+            "sweep_param": self.sweep_param,
+            "state": self.state,
+            "variation": self.variation,
+            "draws": self.draws,
+        }
+        if self.result is not None:
+            body["mean"] = self.result.mean
+            body["std"] = self.result.std
+            body["ci95"] = self.result.ci_half_width
+            body["result"] = self.result.to_dict()
+        return body
+
+
+def _variation_label(request: Dict[str, Any]) -> str:
+    """The request's variation as the CLI spec string.
+
+    Runner-submitted requests carry ``variation``; inline cache rows
+    (``cached_evaluate``) record the resolved spec under ``spec``.
+    """
+    payload = request.get("variation") or request.get("spec")
+    if not isinstance(payload, dict):
+        return ""
+    try:
+        return to_string(spec_from_dict(payload))
+    except (KeyError, ValueError, TypeError):
+        return json.dumps(payload, sort_keys=True)
+
+
+def _point(store: ResultStore, row: JobRow) -> SweepPoint:
+    payload = store.result(row.fingerprint)
+    result = None if payload is None else MCResult.from_dict(payload)
+    return SweepPoint(
+        fingerprint=row.fingerprint,
+        sweep_param=row.sweep_param,
+        state=row.state,
+        variation=_variation_label(row.request),
+        result=result,
+        draws=store.draws_stored(row.fingerprint),
+    )
+
+
+def sweep_points(store: ResultStore, sweep_key: str) -> List[SweepPoint]:
+    """The curve for one sweep, ordered by ``sweep_param``.
+
+    Points without a parameter sort last (by fingerprint), so ad-hoc jobs
+    tagged into a sweep never scramble the numeric axis.
+    """
+    rows = store.jobs(sweep_key=sweep_key)
+    points = [_point(store, row) for row in rows]
+    points.sort(
+        key=lambda p: (
+            p.sweep_param is None,
+            p.sweep_param if p.sweep_param is not None else 0.0,
+            p.fingerprint,
+        )
+    )
+    return points
+
+
+def job_point(store: ResultStore, fingerprint: str) -> Optional[SweepPoint]:
+    """A single job's point by fingerprint, or ``None`` if unknown."""
+    row = store.job(fingerprint)
+    return None if row is None else _point(store, row)
+
+
+def sweep_table(
+    points: List[SweepPoint],
+) -> Tuple[List[str], List[List[object]]]:
+    """(header, rows) for :func:`repro.utils.tables.format_table`."""
+    return list(SWEEP_HEADER), [point.row() for point in points]

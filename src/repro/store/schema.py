@@ -1,0 +1,142 @@
+"""Result-store sqlite schema: versioned DDL plus a migration hook.
+
+The store is one sqlite file in WAL mode (many readers, one writer at a
+time — exactly the many-runners/one-store shape). Three tables:
+
+- ``jobs`` — one row per fingerprint: the serialized
+  :class:`~repro.store.jobs.JobRequest`, the lifecycle state
+  (``pending → running → done | failed``), lease bookkeeping for the
+  runner's claim protocol, and dedup/sweep metadata.
+- ``chunks`` — per-chunk accuracy arrays keyed by ``(fingerprint,
+  chunk_index)``: the bitwise restart points an interrupted job resumes
+  from. The primary key doubles as the exactly-once guard — a chunk can
+  land only once.
+- ``results`` — finalized :class:`~repro.evaluation.montecarlo.MCResult`
+  payloads (``to_dict`` JSON), the unit queries and cache hits read.
+
+``schema_version`` lives in ``store_meta``. Opening a store with an older
+version walks :data:`MIGRATIONS` step by step inside one transaction per
+step; opening a *newer* store than this code understands fails loudly
+instead of corrupting it.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Callable, Dict
+
+#: Current schema version; bump together with a MIGRATIONS entry.
+SCHEMA_VERSION = 1
+
+#: ``MIGRATIONS[v]`` upgrades a version-``v`` store to ``v + 1``. Applied
+#: sequentially by :func:`ensure_schema` until ``SCHEMA_VERSION`` is
+#: reached — the hook future schema changes (new columns, new tables)
+#: register under, so existing store files keep working.
+MIGRATIONS: Dict[int, Callable[[sqlite3.Connection], None]] = {}
+
+_DDL = (
+    """
+    CREATE TABLE IF NOT EXISTS store_meta (
+        key TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS jobs (
+        fingerprint TEXT PRIMARY KEY,
+        request TEXT NOT NULL,
+        state TEXT NOT NULL DEFAULT 'pending'
+            CHECK (state IN ('pending', 'running', 'done', 'failed')),
+        owner TEXT,
+        lease_expires REAL,
+        attempts INTEGER NOT NULL DEFAULT 0,
+        submits INTEGER NOT NULL DEFAULT 1,
+        sweep_key TEXT,
+        sweep_param REAL,
+        error TEXT,
+        submitted_at REAL NOT NULL,
+        finished_at REAL
+    )
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_jobs_state
+        ON jobs (state, submitted_at, fingerprint)
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_jobs_sweep ON jobs (sweep_key)
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS chunks (
+        fingerprint TEXT NOT NULL
+            REFERENCES jobs (fingerprint) ON DELETE CASCADE,
+        chunk_index INTEGER NOT NULL,
+        start INTEGER NOT NULL,
+        stop INTEGER NOT NULL,
+        accuracies TEXT NOT NULL,
+        PRIMARY KEY (fingerprint, chunk_index)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS results (
+        fingerprint TEXT PRIMARY KEY
+            REFERENCES jobs (fingerprint) ON DELETE CASCADE,
+        result TEXT NOT NULL,
+        finished_at REAL NOT NULL
+    )
+    """,
+)
+
+
+def schema_version(conn: sqlite3.Connection) -> int:
+    """The store file's recorded schema version (0 = empty/new file)."""
+    row = conn.execute(
+        "SELECT name FROM sqlite_master WHERE type = 'table' "
+        "AND name = 'store_meta'"
+    ).fetchone()
+    if row is None:
+        return 0
+    versions = conn.execute(
+        "SELECT value FROM store_meta WHERE key = 'schema_version'"
+    ).fetchone()
+    return int(versions[0]) if versions is not None else 0
+
+
+def ensure_schema(conn: sqlite3.Connection) -> None:
+    """Create or migrate the schema to :data:`SCHEMA_VERSION`.
+
+    A fresh file gets the current DDL directly; an old file is walked
+    through :data:`MIGRATIONS` one version per transaction; a newer file
+    than this code understands is refused (running old code against a
+    migrated store would silently drop whatever the new columns mean).
+    """
+    version = schema_version(conn)
+    if version > SCHEMA_VERSION:
+        raise RuntimeError(
+            f"store schema version {version} is newer than this code's "
+            f"{SCHEMA_VERSION}; upgrade the package instead of the file"
+        )
+    if version == 0:
+        with conn:
+            for statement in _DDL:
+                conn.execute(statement)
+            conn.execute(
+                "INSERT OR REPLACE INTO store_meta (key, value) "
+                "VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+        return
+    while version < SCHEMA_VERSION:
+        try:
+            migration = MIGRATIONS[version]
+        except KeyError:
+            raise RuntimeError(
+                f"no migration registered from store schema version "
+                f"{version} to {version + 1}"
+            ) from None
+        with conn:
+            migration(conn)
+            version += 1
+            conn.execute(
+                "UPDATE store_meta SET value = ? WHERE key = 'schema_version'",
+                (str(version),),
+            )

@@ -1,9 +1,12 @@
 """CLI entry points (smoke level: tiny settings, real code paths)."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro import cli
+from repro.evaluation.montecarlo import MCResult
 
 
 @pytest.fixture(autouse=True)
@@ -54,6 +57,26 @@ class TestEvalCLI:
         assert code == 0
         out = capsys.readouterr().out
         assert "mean acc" in out
+
+    def test_eval_json_payload_matches_table_fields(self, tmp_path, capsys):
+        path = str(tmp_path / "model.npz")
+        cli.train_main(["--model", "mlp", "--dataset", "synth_mnist",
+                        "--epochs", "1", "--save", path])
+        capsys.readouterr()
+        code = cli.eval_main([
+            "--model", "mlp", "--dataset", "synth_mnist",
+            "--checkpoint", path, "--samples", "3",
+            "--variation", "lognormal:0.4", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["variation"] == "lognormal:0.4"
+        assert payload["draws"] == 3
+        result = MCResult.from_dict(payload["result"])
+        assert payload["mean"] == result.mean
+        assert payload["std"] == result.std
+        assert payload["ci95"] == result.ci_half_width
+        assert 0.0 <= payload["clean_accuracy"] <= 1.0
 
 
 class TestVariationSpecCLI:

@@ -1,5 +1,7 @@
 """Evaluation: accuracy, Monte-Carlo protocol, layer sweeps, tracing."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -192,6 +194,37 @@ class TestMCResultValidation:
     def test_empty_result_repr_safe(self):
         from repro.evaluation.montecarlo import MCResult
         assert "empty" in repr(MCResult())
+
+
+class TestMCResultSerialization:
+    def test_round_trip_through_json_is_lossless(self):
+        from repro.evaluation.montecarlo import MCResult
+        original = MCResult(
+            accuracies=[np.float64(0.625), 0.75, np.float32(0.5)],
+            stopped_early=True,
+            confidence=0.99,
+            ci_method="clt",
+        )
+        payload = json.loads(json.dumps(original.to_dict()))
+        restored = MCResult.from_dict(payload)
+        assert restored.accuracies == [float(a) for a in original.accuracies]
+        assert restored.stopped_early is True
+        assert restored.confidence == 0.99
+        assert restored.ci_method == "clt"
+        assert restored.ci_half_width == original.ci_half_width
+        # Idempotent: re-serializing the restored result is a fixpoint.
+        assert restored.to_dict() == payload
+
+    def test_empty_result_round_trips(self):
+        from repro.evaluation.montecarlo import MCResult
+        restored = MCResult.from_dict(MCResult().to_dict())
+        assert restored.accuracies == []
+        assert restored.n_samples_used == 0
+
+    def test_unknown_fields_rejected(self):
+        from repro.evaluation.montecarlo import MCResult
+        with pytest.raises(ValueError, match="unknown MCResult fields"):
+            MCResult.from_dict({"accuracies": [], "surprise": 1})
 
 
 class TestVectorizedEngine:

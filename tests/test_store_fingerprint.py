@@ -1,0 +1,217 @@
+"""Plan fingerprints: canonical, content-addressed, execution-blind.
+
+The invariant under test (docs/CONTRACTS.md "Fingerprint invariant"):
+two plans fingerprint identically iff they describe the same *logical*
+evaluation — weights, dataset, spec, seed schedule, domain, stopping —
+and never differ because of execution knobs, dict insertion order, numpy
+scalar types, or the interpreter's hash randomization.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ArrayDataset
+from repro.evaluation.plan import build_plan
+from repro.evaluation.sequential import FixedSamples, HalfWidthRule
+from repro.models import MLP
+from repro.store.fingerprint import (
+    canonical_json,
+    dataset_digest,
+    fingerprint_payload,
+    plan_fingerprint,
+    stopping_payload,
+    weights_digest,
+)
+from repro.utils.rng import spawn_rngs
+
+
+def _model():
+    return MLP(4, [8], 3, flatten_input=True, seed=0)
+
+
+def _dataset():
+    images = np.arange(2 * 1 * 2 * 2, dtype=np.float64).reshape(2, 1, 2, 2) / 7.0
+    return ArrayDataset(images, np.array([0, 1]))
+
+
+def _plan(model, dataset, **overrides):
+    kwargs = dict(n_samples=5, seed=9, vectorized=True)
+    kwargs.update(overrides)
+    return build_plan(model, dataset, "lognormal:0.4", **kwargs)
+
+
+class TestCanonicalJson:
+    def test_key_insertion_order_is_invisible(self):
+        a = {"x": 1, "y": {"b": 2.0, "a": [3, 4]}}
+        b = {"y": {"a": [3, 4], "b": 2.0}, "x": 1}
+        assert canonical_json(a) == canonical_json(b)
+
+    def test_numpy_scalars_coerce_to_python(self):
+        assert canonical_json({"v": np.float64(0.5)}) == canonical_json({"v": 0.5})
+        assert canonical_json({"v": np.int32(7)}) == canonical_json({"v": 7})
+        assert canonical_json({"v": np.bool_(True)}) == canonical_json({"v": True})
+
+    def test_tuples_and_lists_are_the_same_sequence(self):
+        assert canonical_json({"v": (1, 2)}) == canonical_json({"v": [1, 2]})
+
+    def test_nan_and_inf_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            canonical_json({"v": float("nan")})
+        with pytest.raises(ValueError, match="non-finite"):
+            canonical_json({"v": float("inf")})
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(ValueError, match="keys must be str"):
+            canonical_json({1: "x"})
+
+    def test_unserializable_values_rejected(self):
+        with pytest.raises(ValueError, match="not canonically serializable"):
+            canonical_json({"v": object()})
+
+
+class TestContentDigests:
+    def test_weights_digest_tracks_content_not_identity(self):
+        assert weights_digest(_model()) == weights_digest(_model())
+        perturbed = _model()
+        params = dict(perturbed.named_parameters())
+        next(iter(params.values())).data += 1e-6
+        assert weights_digest(perturbed) != weights_digest(_model())
+
+    def test_dataset_digest_tracks_content(self):
+        assert dataset_digest(_dataset()) == dataset_digest(_dataset())
+        other = _dataset()
+        shifted = ArrayDataset(other.images + 1e-9, other.labels)
+        assert dataset_digest(shifted) != dataset_digest(other)
+
+
+class TestFingerprintInvariant:
+    def test_execution_knobs_are_provably_excluded(self):
+        """Backend, workers, chunking, batching: same fingerprint."""
+        model, dataset = _model(), _dataset()
+        reference = plan_fingerprint(_plan(model, dataset), model, dataset)
+        knob_variants = [
+            dict(vectorized=False),
+            dict(vectorized=False, n_workers=3),
+            dict(chunk_samples=2),
+            dict(memory_budget_mb=1.0),
+            dict(batch_size=7),
+            dict(data_block=3),
+            dict(default_chunk=2),
+            dict(worker_vectorized=False),
+        ]
+        for knobs in knob_variants:
+            plan = _plan(model, dataset, **knobs)
+            assert plan_fingerprint(plan, model, dataset) == reference, knobs
+
+    def test_logical_inputs_all_enter_the_hash(self):
+        model, dataset = _model(), _dataset()
+        reference = plan_fingerprint(_plan(model, dataset), model, dataset)
+        distinct = [
+            _plan(model, dataset, n_samples=6),
+            _plan(model, dataset, seed=10),
+            build_plan(model, dataset, "lognormal:0.5",
+                       n_samples=5, seed=9, vectorized=True),
+            _plan(model, dataset, tolerance=0.05),
+        ]
+        prints = {plan_fingerprint(p, model, dataset) for p in distinct}
+        assert reference not in prints
+        assert len(prints) == len(distinct)
+
+    def test_model_and_dataset_content_enter_the_hash(self):
+        model, dataset = _model(), _dataset()
+        plan = _plan(model, dataset)
+        reference = plan_fingerprint(plan, model, dataset)
+        perturbed = _model()
+        params = dict(perturbed.named_parameters())
+        next(iter(params.values())).data += 1e-6
+        assert plan_fingerprint(plan, perturbed, dataset) != reference
+        shifted = ArrayDataset(dataset.images + 1e-9, dataset.labels)
+        assert plan_fingerprint(plan, model, shifted) != reference
+
+    def test_analog_params_enter_the_hash(self):
+        model, dataset = _model(), _dataset()
+        plan = _plan(model, dataset)
+        bare = plan_fingerprint(plan, model, dataset)
+        analog = plan_fingerprint(plan, model, dataset,
+                                  analog={"dac_bits": 6, "tile_size": 128})
+        assert bare != analog
+
+    def test_layer_subsets_and_masks_are_rejected(self):
+        model, dataset = _model(), _dataset()
+        layered = _plan(model, dataset, layers=[model])
+        with pytest.raises(ValueError, match="not fingerprintable"):
+            fingerprint_payload(layered, "m", "d")
+        masked = _plan(
+            model, dataset,
+            protection_masks={"w": np.ones(2)},
+        )
+        with pytest.raises(ValueError, match="not fingerprintable"):
+            fingerprint_payload(masked, "m", "d")
+
+    def test_live_generator_seed_rejected(self):
+        model, dataset = _model(), _dataset()
+        plan = _plan(model, dataset, seed=spawn_rngs(0, 1)[0])
+        with pytest.raises(ValueError, match="portable seed"):
+            fingerprint_payload(plan, "m", "d")
+
+    def test_stopping_rule_canonical_forms(self):
+        assert stopping_payload(None) is None
+        assert stopping_payload(FixedSamples()) is None
+        rule = HalfWidthRule(tolerance=0.02, min_samples=4)
+        payload = stopping_payload(rule)
+        assert payload is not None and payload["kind"] == "half_width"
+        assert payload["tolerance"] == 0.02
+
+        class Exotic:
+            def satisfied(self, accs):
+                return False
+
+        with pytest.raises(ValueError, match="no canonical fingerprint"):
+            stopping_payload(Exotic())
+
+
+_SUBPROCESS_SCRIPT = """
+import numpy as np
+from repro.data.dataset import ArrayDataset
+from repro.evaluation.plan import build_plan
+from repro.models import MLP
+from repro.store.fingerprint import plan_fingerprint
+
+model = MLP(4, [8], 3, flatten_input=True, seed=0)
+images = np.arange(2 * 1 * 2 * 2, dtype=np.float64).reshape(2, 1, 2, 2) / 7.0
+dataset = ArrayDataset(images, np.array([0, 1]))
+plan = build_plan(model, dataset, "lognormal:0.4",
+                  n_samples=5, seed=9, vectorized=True)
+print(plan_fingerprint(plan, model, dataset))
+"""
+
+
+class TestCrossProcessStability:
+    def test_same_hex_across_hash_randomized_processes(self):
+        """PYTHONHASHSEED must not leak into the fingerprint: the same
+        inputs hash to the same hex in any interpreter."""
+        model, dataset = _model(), _dataset()
+        local = plan_fingerprint(_plan(model, dataset), model, dataset)
+        hexes = []
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        for hash_seed in ("0", "1", "31337"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in (src_dir, env.get("PYTHONPATH")) if p
+            )
+            out = subprocess.run(
+                [sys.executable, "-c", _SUBPROCESS_SCRIPT],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            hexes.append(out.stdout.strip())
+        assert set(hexes) == {local}
+        assert len(local) == 64  # sha256 hex

@@ -1,0 +1,253 @@
+"""Job runner: resume is bitwise, dedup is zero-work, caching is real.
+
+The acceptance properties of the evaluation service live here:
+
+- a drained job's stored result is bitwise-identical to a direct
+  ``execute()`` of the same plan;
+- an interrupted-then-resumed job (cooperative preemption or crashed
+  lease) is bitwise-identical to an uninterrupted run — including where
+  an adaptive rule stops it;
+- resubmitting a finished evaluation is a cache hit and performs zero
+  work;
+- ``cached_evaluate`` returns the stored payload without re-executing.
+
+Evaluations run on a miniature dataset (the factory registry is patched)
+so the whole file stays unit-test sized.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import synth_mnist
+from repro.evaluation.executor import execute, IncrementalEvaluation
+from repro.evaluation.montecarlo import MonteCarloEvaluator
+from repro.evaluation.plan import build_plan
+from repro.models.registry import build_model
+from repro.store import JobRequest, materialize, ResultStore
+from repro.store.runner import cached_evaluate, drain
+
+
+def _tiny_factory():
+    return synth_mnist(train_per_class=6, test_per_class=3)
+
+
+@pytest.fixture(autouse=True)
+def tiny_datasets(monkeypatch):
+    from repro.store import jobs as store_jobs
+
+    monkeypatch.setitem(store_jobs.DATASET_FACTORIES, "synth_mnist",
+                        _tiny_factory)
+
+
+def _request(**overrides):
+    kwargs = dict(
+        model="mlp",
+        dataset="synth_mnist",
+        variation={"kind": "lognormal", "sigma": 0.4},
+        n_samples=6,
+        seed=7,
+        chunk_samples=2,
+    )
+    kwargs.update(overrides)
+    return JobRequest(**kwargs)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with ResultStore(str(tmp_path / "store.sqlite")) as s:
+        yield s
+
+
+def _direct_accuracies(request):
+    m = materialize(request)
+    return [float(a) for a in execute(m.plan, m.model, m.dataset).accuracies]
+
+
+class TestDrain:
+    def test_drained_result_is_bitwise_equal_to_direct_execute(self, store):
+        request = _request()
+        m = materialize(request)
+        store.submit(m.fingerprint, m.request.to_dict())
+        stats = drain(store, owner="w1")
+        assert [o.status for o in stats.outcomes] == ["done"]
+        stored = store.result(m.fingerprint)
+        assert stored["accuracies"] == _direct_accuracies(request)
+        assert store.job(m.fingerprint).state == "done"
+
+    def test_resubmit_after_done_is_zero_work(self, store):
+        request = _request()
+        m = materialize(request)
+        store.submit(m.fingerprint, m.request.to_dict())
+        drain(store, owner="w1")
+        attempts_before = store.job(m.fingerprint).attempts
+        outcome = store.submit(m.fingerprint, m.request.to_dict())
+        assert outcome.cache_hit
+        stats = drain(store, owner="w2")
+        assert stats.outcomes == []  # nothing claimable: zero work
+        assert store.job(m.fingerprint).attempts == attempts_before
+
+    def test_max_chunks_preempts_and_resume_is_bitwise(self, store):
+        request = _request()
+        m = materialize(request)
+        store.submit(m.fingerprint, m.request.to_dict())
+        first = drain(store, owner="w1", max_jobs=1, max_chunks_per_job=1)
+        outcome = first.outcomes[0]
+        assert outcome.status == "preempted"
+        assert outcome.chunks_run == 1 and outcome.draws == 2
+        assert store.job(m.fingerprint).state == "pending"
+        second = drain(store, owner="w2")
+        resumed = second.outcomes[0]
+        assert resumed.status == "done" and resumed.resumed_draws == 2
+        assert store.result(m.fingerprint)["accuracies"] == \
+            _direct_accuracies(request)
+
+    def test_crashed_lease_resume_is_bitwise(self, store):
+        """A runner that dies mid-job (chunks persisted, lease held) is
+        fenced out and its job finishes bitwise-identically elsewhere."""
+        from repro.store.db import StaleLeaseError
+
+        request = _request()
+        m = materialize(request)
+        store.submit(m.fingerprint, m.request.to_dict())
+        # Simulate the crash: claim with an already-expired lease and
+        # persist one chunk, then never release.
+        row = store.claim("crasher", lease_seconds=0.0)
+        ev = IncrementalEvaluation(
+            m.plan, m.model, m.dataset,
+            on_chunk=lambda i, s, t, a: store.put_chunk(
+                row.fingerprint, "crasher", i, s, t, list(a)),
+        )
+        with ev:
+            ev.run_chunk()
+        stats = drain(store, owner="rescuer")
+        assert stats.done == 1
+        assert stats.outcomes[0].resumed_draws == 2
+        assert store.result(m.fingerprint)["accuracies"] == \
+            _direct_accuracies(request)
+        # The zombie is fenced out of the finished job.
+        with pytest.raises(StaleLeaseError):
+            store.put_chunk(row.fingerprint, "crasher", 1, 2, 4, [0.0, 0.0])
+
+    def test_adaptive_job_resumes_to_the_same_stop_point(self, store):
+        request = _request(tolerance=0.06, min_samples=4, n_samples=12)
+        m = materialize(request)
+        direct = execute(m.plan, m.model, m.dataset)
+        store.submit(m.fingerprint, m.request.to_dict())
+        first = drain(store, owner="w1", max_jobs=1, max_chunks_per_job=1)
+        assert first.outcomes[0].status == "preempted"
+        drain(store, owner="w2")
+        stored = store.result(m.fingerprint)
+        assert stored["accuracies"] == [float(a) for a in direct.accuracies]
+        assert stored["stopped_early"] == direct.stopped_early
+
+    def test_fingerprint_mismatch_fails_the_job(self, store, tmp_path):
+        train, _ = _tiny_factory()
+        checkpoint = str(tmp_path / "ckpt.npz")
+        model = build_model("mlp", train, seed=3)
+        model.save(checkpoint)
+        request = _request(checkpoint=checkpoint)
+        m = materialize(request)
+        store.submit(m.fingerprint, m.request.to_dict())
+        # The checkpoint file changes between submit and run.
+        build_model("mlp", train, seed=4).save(checkpoint)
+        stats = drain(store, owner="w1")
+        assert stats.failed == 1
+        row = store.job(m.fingerprint)
+        assert row.state == "failed"
+        assert "fingerprint mismatch" in row.error
+
+    def test_run_job_requires_positive_max_chunks(self, store):
+        with pytest.raises(ValueError, match="at least 1"):
+            drain(store, owner="w", max_chunks_per_job=0)
+
+
+class TestCachedEvaluate:
+    def test_miss_executes_and_matches_direct(self, tmp_path):
+        train, test = _tiny_factory()
+        model = build_model("mlp", train, seed=0)
+        evaluator = MonteCarloEvaluator(test, n_samples=5, seed=7,
+                                        vectorized=True)
+        path = str(tmp_path / "cache.sqlite")
+        result = cached_evaluate(path, evaluator, model, "lognormal:0.3")
+        direct = evaluator.evaluate(model, "lognormal:0.3")
+        assert result.accuracies == direct.accuracies
+
+    def test_hit_returns_the_stored_payload_without_executing(self, tmp_path):
+        train, test = _tiny_factory()
+        model = build_model("mlp", train, seed=0)
+        evaluator = MonteCarloEvaluator(test, n_samples=5, seed=7,
+                                        vectorized=True)
+        path = str(tmp_path / "cache.sqlite")
+        cached_evaluate(path, evaluator, model, "lognormal:0.3")
+        # Plant a sentinel payload under the fingerprint: a second call
+        # must return it verbatim — proof it looked up rather than ran.
+        from repro.store.fingerprint import plan_fingerprint
+
+        model.eval()
+        fingerprint = plan_fingerprint(
+            evaluator.plan(model, "lognormal:0.3"), model, test
+        )
+        model.train()
+        sentinel = {"accuracies": [0.123], "stopped_early": False,
+                    "confidence": 0.95, "ci_method": "clt"}
+        with ResultStore(path) as store:
+            store.put_result(fingerprint, sentinel)
+        again = cached_evaluate(path, evaluator, model, "lognormal:0.3")
+        assert again.accuracies == [0.123]
+
+    def test_restores_training_mode(self, tmp_path):
+        train, test = _tiny_factory()
+        model = build_model("mlp", train, seed=0)
+        model.train()
+        evaluator = MonteCarloEvaluator(test, n_samples=3, seed=7)
+        cached_evaluate(str(tmp_path / "c.sqlite"), evaluator, model,
+                        "lognormal:0.3")
+        assert model.training
+
+
+class TestIncrementalResume:
+    """The executor-side resume contract the runner builds on."""
+
+    def _plan(self, mlp, blob_dataset, **overrides):
+        kwargs = dict(n_samples=6, seed=5, vectorized=True, chunk_samples=2)
+        kwargs.update(overrides)
+        mlp.eval()
+        return build_plan(mlp, blob_dataset, "lognormal:0.4", **kwargs)
+
+    def test_resume_must_precede_run_chunk(self, mlp, blob_dataset):
+        plan = self._plan(mlp, blob_dataset)
+        ev = IncrementalEvaluation(plan, mlp, blob_dataset)
+        with ev:
+            ev.run_chunk()
+        with pytest.raises(RuntimeError, match="must precede"):
+            ev.resume([0.5, 0.5])
+
+    def test_resume_rejects_misaligned_prefix(self, mlp, blob_dataset):
+        plan = self._plan(mlp, blob_dataset)
+        ev = IncrementalEvaluation(plan, mlp, blob_dataset)
+        with pytest.raises(ValueError, match="not aligned"):
+            ev.resume([0.5])  # one draw into a 2-draw chunk
+
+    def test_resume_rejects_prefix_past_schedule(self, mlp, blob_dataset):
+        plan = self._plan(mlp, blob_dataset)
+        ev = IncrementalEvaluation(plan, mlp, blob_dataset)
+        with pytest.raises(ValueError, match="extends past"):
+            ev.resume([0.5] * 8)
+
+    def test_on_chunk_rejected_on_pool_backend(self, mlp, blob_dataset):
+        plan = self._plan(mlp, blob_dataset, vectorized=False, n_workers=2)
+        assert plan.backend == "pool"
+        with pytest.raises(ValueError, match="pool backend"):
+            execute(plan, mlp, blob_dataset, on_chunk=lambda *a: None)
+
+    def test_streamed_chunks_reassemble_the_full_run(self, mlp, blob_dataset):
+        plan = self._plan(mlp, blob_dataset)
+        seen = []
+        result = execute(
+            plan, mlp, blob_dataset,
+            on_chunk=lambda i, s, t, a: seen.append((i, s, t, list(a))),
+        )
+        assert [i for i, *_ in seen] == [0, 1, 2]
+        streamed = [a for *_, accs in seen for a in accs]
+        assert streamed == result.accuracies
