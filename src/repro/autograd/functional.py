@@ -7,7 +7,7 @@ stateful modules.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -19,7 +19,7 @@ from repro.autograd.im2col import (
     im2col_stacked,
     im2col_windows,
 )
-from repro.autograd.tensor import Tensor, as_tensor
+from repro.autograd.tensor import concatenate, Tensor, as_tensor
 
 KernelLike = Union[int, Tuple[int, int]]
 
@@ -640,3 +640,108 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool) -> Te
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
     mask = (rng.random(x.shape) >= p) / (1.0 - p)
     return x * Tensor(mask)
+
+
+# ----------------------------------------------------------------------
+# Fan-in combination for module graphs (residual adds, concatenation)
+# ----------------------------------------------------------------------
+#
+# The stacked-activation conventions (docs/ARCHITECTURE.md): linear-style
+# features are batch-major — (N, F) unstacked, (S, N, F) stacked; conv
+# maps are channel-major when stacked — (N, C, H, W) unstacked,
+# (S, C, N, H, W) stacked. Branches of a fan-in node may disagree on
+# stacked-ness (only some branches contain varied layers), so combining
+# them must align layouts first:
+#
+# - batch-major operands of ranks {2,3} or {3,4} (features, token grids)
+#   align by numpy's trailing-axis broadcasting as-is;
+# - a 4-D conv map meeting a 5-D stacked one must be transposed to
+#   channel-major (C, N, H, W) first — naive broadcasting would line its
+#   batch axis up against the stack's channel axis.
+
+
+def _align_conv_fanin(tensors: List[Tensor]) -> List[Tensor]:
+    """Lift unstacked (N, C, H, W) operands to align with (S, C, N, H, W).
+
+    Only called when ranks mix 4 and 5: the 4-D members are conv maps by
+    the layout convention, and (C, N, H, W) broadcasts correctly against
+    a channel-major stack (the adjoint transposes back, so this stays
+    differentiable).
+    """
+    return [t.transpose(1, 0, 2, 3) if t.ndim == 4 else t for t in tensors]
+
+
+def fanin_add(*tensors: Tensor) -> Tensor:
+    """Sum of fan-in branch outputs, layout-aware across stacked ranks.
+
+    Operands of equal rank (all stacked or all unstacked) add directly.
+    Mixed ranks mean only some branches carry the Monte-Carlo sample axis:
+    {2,3} and {3,4} are batch-major and broadcast natively, {4,5} is the
+    conv case that needs the channel-major transpose. The sum runs in
+    branch order, so results are bitwise reproducible, and each stacked
+    slice equals the unstacked sum the reference loop computes.
+    """
+    if len(tensors) < 2:
+        raise ValueError(f"fan-in needs at least two operands, got {len(tensors)}")
+    ops = [as_tensor(t) for t in tensors]
+    ranks = {t.ndim for t in ops}
+    if len(ranks) > 1:
+        lo, hi = min(ranks), max(ranks)
+        if hi - lo != 1 or hi > 5 or lo < 2:
+            raise ValueError(
+                "fan-in operands must differ by at most the sample axis; "
+                f"got shapes {[t.shape for t in ops]}"
+            )
+        if hi == 5:
+            ops = _align_conv_fanin(ops)
+    out = ops[0]
+    for t in ops[1:]:
+        out = out + t
+    return out
+
+
+def fanin_concat(tensors: Sequence[Tensor], kind: str = "channel") -> Tensor:
+    """Concatenate fan-in branch outputs, layout-aware across stacked ranks.
+
+    ``kind`` names the semantic axis, because a raw axis index is
+    layout-dependent:
+
+    - ``"channel"``: conv feature maps, concatenated on the channel axis —
+      axis 1 in both the unstacked (N, C, H, W) and the stacked
+      channel-major (S, C, N, H, W) layout;
+    - ``"feature"``: batch-major features/tokens ((N, F), (S, N, F),
+      (N, T, D), (S, N, T, D)), concatenated on the trailing axis.
+
+    Unstacked members meeting stacked ones are expanded over the sample
+    axis with a stride-0 broadcast view before concatenation (conv maps
+    via the channel-major transpose first), so each stacked slice equals
+    the unstacked concatenation of the reference loop.
+    """
+    ops = [as_tensor(t) for t in tensors]
+    if len(ops) < 2:
+        raise ValueError(f"fan-in needs at least two operands, got {len(ops)}")
+    if kind not in ("channel", "feature"):
+        raise ValueError(f"unknown fan-in concat kind {kind!r}")
+    ranks = {t.ndim for t in ops}
+    allowed = {4, 5} if kind == "channel" else {2, 3, 4}
+    if not ranks <= allowed or len(ranks) > 2:
+        raise ValueError(
+            f"fan-in concat kind={kind!r} got incompatible operand shapes "
+            f"{[t.shape for t in ops]}"
+        )
+    if len(ranks) == 2:
+        lo, hi = min(ranks), max(ranks)
+        if hi - lo != 1:
+            raise ValueError(
+                "fan-in operands must differ by at most the sample axis; "
+                f"got shapes {[t.shape for t in ops]}"
+            )
+        if kind == "channel":
+            ops = _align_conv_fanin(ops)
+        stacked_shape = next(t.shape for t in ops if t.ndim == hi)
+        s = stacked_shape[0]
+        ops = [
+            t if t.ndim == hi else t.broadcast_to((s,) + t.shape) for t in ops
+        ]
+    axis = 1 if kind == "channel" else -1
+    return concatenate(ops, axis=axis)

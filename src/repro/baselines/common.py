@@ -8,7 +8,7 @@ from typing import Dict
 import numpy as np
 
 from repro.nn.module import Module
-from repro.variation.injector import weighted_layers
+from repro.nn.graph import weighted_layers
 
 
 @dataclass

@@ -23,7 +23,8 @@ from repro.evaluation.metrics import accuracy
 from repro.nn.loss import CrossEntropyLoss
 from repro.nn.module import Module
 from repro.utils.rng import spawn_rngs, SeedLike
-from repro.variation.injector import VariationInjector, weighted_layers
+from repro.nn.graph import weighted_layers
+from repro.variation.injector import VariationInjector
 from repro.variation.models import VariationModel
 
 

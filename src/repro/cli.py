@@ -59,7 +59,9 @@ def _load_data(name: str):
 
 def _common_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--model", default="lenet5", help="lenet5|vgg16|vgg11|vgg16bn|vgg11bn|mlp"
+        "--model",
+        default="lenet5",
+        help="lenet5|vgg16|vgg11|vgg16bn|vgg11bn|resnet8|resnet8bn|attnmlp|mlp",
     )
     parser.add_argument("--dataset", default="synth_mnist", help=f"{list(_DATASETS)}")
     parser.add_argument("--seed", type=int, default=0)

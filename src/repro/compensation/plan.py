@@ -21,7 +21,7 @@ from repro.compensation.wrappers import (
 from repro.nn.layers import Conv2d, Linear, Sequential
 from repro.nn.module import Module
 from repro.utils.rng import SeedLike, spawn_rngs
-from repro.variation.injector import weighted_layers
+from repro.nn.graph import weighted_layers
 
 
 @dataclass

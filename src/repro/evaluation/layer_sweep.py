@@ -15,7 +15,7 @@ from typing import List, Optional, Tuple
 
 from repro.evaluation.montecarlo import MCResult, MonteCarloEvaluator
 from repro.nn.module import Module
-from repro.variation.injector import weighted_layers
+from repro.nn.graph import weighted_layers
 from repro.variation.spec import parse_spec, VariationLike
 
 

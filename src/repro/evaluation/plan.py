@@ -66,7 +66,7 @@ import numpy.typing as npt
 
 from repro.data.dataset import ArrayDataset
 from repro.evaluation.sequential import HalfWidthRule, StoppingRule
-from repro.evaluation.vectorized import supports_sample_axis
+from repro.evaluation.vectorized import sample_axis_blockers, supports_sample_axis
 from repro.hardware.analog_layers import analog_layers, has_read_noise
 from repro.nn.module import Module
 from repro.utils.rng import spawn_rngs, SeedLike
@@ -111,6 +111,12 @@ class EvalPlan:
     stopping: Optional[StoppingRule] = None
     layers: Optional[Sequence[Module]] = None
     protection_masks: Optional[Dict[str, npt.NDArray[Any]]] = None
+    #: Why the resolved backend differs from the requested one — set when a
+    #: ``vectorized=True`` request fell back because the model is not
+    #: sample-aware, naming the blocking module(s). Purely diagnostic: it
+    #: never changes execution and is excluded from store fingerprints
+    #: (which hash only the logical evaluation).
+    backend_reason: Optional[str] = None
 
     @property
     def loop_batch(self) -> int:
@@ -265,12 +271,18 @@ def build_plan(
     deterministic = no_variation and (not analog or not has_read_noise(model))
 
     sample_aware = supports_sample_axis(model)
+    backend_reason: Optional[str] = None
     if vectorized and sample_aware:
         backend = "vectorized"
-    elif n_workers > 1:
-        backend = "pool"
     else:
-        backend = "loop"
+        backend = "pool" if n_workers > 1 else "loop"
+        if vectorized and not sample_aware:
+            blockers = sample_axis_blockers(model)
+            backend_reason = (
+                f"vectorized execution requested but fell back to the "
+                f"{backend} backend: module(s) without a truthy "
+                f"sample_aware declaration: " + ", ".join(blockers)
+            )
     if worker_vectorized is None:
         worker_vectorized = sample_aware
 
@@ -298,4 +310,5 @@ def build_plan(
         stopping=stopping,
         layers=None if layers is None else list(layers),
         protection_masks=protection_masks,
+        backend_reason=backend_reason,
     )

@@ -17,7 +17,8 @@ import numpy as np
 from repro.autograd import Tensor, no_grad
 from repro.nn.module import Module
 from repro.utils.rng import SeedLike, spawn_rngs
-from repro.variation.injector import VariationInjector, weighted_layers
+from repro.nn.graph import weighted_layers
+from repro.variation.injector import VariationInjector
 from repro.variation.models import VariationModel
 
 

@@ -46,40 +46,19 @@ sample-aware forward must preserve.
 
 from __future__ import annotations
 
+from typing import List
+
 import numpy as np
 
 from repro.autograd import no_grad, Tensor
 from repro.data.dataset import ArrayDataset
-from repro.nn.layers import (
-    AvgPool2d,
-    Conv2d,
-    Dropout,
-    Flatten,
-    Identity,
-    Linear,
-    MaxPool2d,
-    ReLU,
-    Sigmoid,
-    Tanh,
-)
 from repro.nn.module import Module
 
-#: Leaf modules whose forward is elementwise, shape-agnostic, or explicitly
-#: sample-aware (stacked-weight matmul/conv, 5-D pooling, sample-preserving
-#: flatten). Kept for introspection/back-compat; eligibility itself is
-#: attribute-driven — these classes all declare ``sample_aware = True``.
-SAMPLE_AWARE_LEAVES = (
-    Linear,
-    Conv2d,
-    ReLU,
-    Tanh,
-    Sigmoid,
-    AvgPool2d,
-    MaxPool2d,
-    Flatten,
-    Identity,
-    Dropout,
-)
+# NOTE: there is deliberately no class tuple here. Eligibility is decided
+# by the ``sample_aware`` declarations alone — a parallel list of "known
+# good" leaf classes would be a second source of truth that can silently
+# drift from the declarations (the old ``SAMPLE_AWARE_LEAVES`` back-compat
+# tuple did exactly that risk, and nothing consumed it).
 
 
 def supports_sample_axis(module: Module) -> bool:
@@ -94,6 +73,25 @@ def supports_sample_axis(module: Module) -> bool:
     if not getattr(module, "sample_aware", False):
         return False
     return all(supports_sample_axis(child) for child in module.children())
+
+
+def sample_axis_blockers(module: Module) -> List[str]:
+    """Which modules keep the tree off the vectorized engine, by name.
+
+    Returns ``"qualified.name (ClassName)"`` entries (the root as
+    ``"(ClassName)"``) for every module whose ``sample_aware`` declaration
+    is missing or falsy — the modules :func:`supports_sample_axis` rejects.
+    Empty iff the tree is eligible. ``build_plan`` surfaces this as the
+    plan's ``backend_reason`` when a requested vectorized run falls back
+    to the loop/pool, so the silent-slowdown cause is named instead of
+    guessed at.
+    """
+    blockers: List[str] = []
+    for name, sub in module.named_modules():
+        if not getattr(sub, "sample_aware", False):
+            label = type(sub).__name__
+            blockers.append(f"{name} ({label})" if name else f"({label})")
+    return blockers
 
 
 def stacked_accuracies(

@@ -38,7 +38,7 @@ from repro.hardware.tiling import TiledCrossbarArray
 from repro.nn.layers import Conv2d, Linear
 from repro.nn.module import Module
 from repro.utils.rng import spawn_rngs, SeedLike
-from repro.variation.injector import weighted_layers
+from repro.nn.graph import weighted_layers
 from repro.variation.models import NoVariation
 from repro.variation.spec import parse_spec, VariationLike
 

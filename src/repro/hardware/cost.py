@@ -12,9 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.nn.graph import digital_subtrees, weighted_layers, weighted_layers_digital
 from repro.nn.layers import Conv2d, Linear
 from repro.nn.module import Module
-from repro.variation.injector import weighted_layers
 
 
 @dataclass
@@ -82,9 +82,7 @@ class CrossbarCostModel:
             energy = macs * self.energy_analog_mac_pj + reads * self.energy_adc_read_pj
             report.energy_pj += energy
             report.per_layer[name] = energy
-        for name, layer in model.named_modules():
-            if not getattr(layer, "digital", False):
-                continue
+        for name, layer in digital_subtrees(model):
             for sub_name, sub in weighted_layers_digital(layer):
                 macs = self._layer_macs(sub, spatial_sites)
                 report.digital_macs += macs
@@ -92,13 +90,3 @@ class CrossbarCostModel:
                 report.energy_pj += energy
                 report.per_layer[f"{name}.{sub_name}"] = energy
         return report
-
-
-def weighted_layers_digital(module: Module):
-    """Weighted layers *inside* a digital subtree (injector skips these,
-    so the generic helper cannot be reused)."""
-    out = []
-    for name, sub in module.named_modules():
-        if "weight" in sub._parameters:
-            out.append((name, sub))
-    return out

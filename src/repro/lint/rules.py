@@ -75,6 +75,54 @@ _RANK_SENSITIVE_METHODS = frozenset(
     {"reshape", "transpose", "ravel", "flatten", "swapaxes"}
 )
 
+#: Reduction methods that become rank-sensitive when given a *non-negative*
+#: axis: counting axes from the front means different things for (N, ...)
+#: and stacked (S, ...) activations. Negative (trailing) axes are
+#: layout-safe — the sample axis always leads.
+_AXIS_REDUCTION_METHODS = frozenset(
+    {"mean", "sum", "var", "std", "max", "min", "prod", "argmax", "argmin"}
+)
+
+
+def _const_axis_values(expr: ast.expr) -> List[int]:
+    """Integer axis values statically readable from an axis expression.
+
+    Handles ``2``, ``-1`` (a ``USub`` node in the AST) and tuples/lists of
+    those; anything dynamic contributes nothing (the rule stays precise
+    rather than guessing).
+    """
+    if isinstance(expr, ast.Constant) and type(expr.value) is int:
+        return [expr.value]
+    if (
+        isinstance(expr, ast.UnaryOp)
+        and isinstance(expr.op, ast.USub)
+        and isinstance(expr.operand, ast.Constant)
+        and type(expr.operand.value) is int
+    ):
+        return [-expr.operand.value]
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        values: List[int] = []
+        for elt in expr.elts:
+            values.extend(_const_axis_values(elt))
+        return values
+    return []
+
+
+def _has_front_counted_axis(call: ast.Call) -> bool:
+    """True when a reduction call names a non-negative constant axis."""
+    axis: Optional[ast.expr] = None
+    for kw in call.keywords:
+        if kw.arg == "axis":
+            axis = kw.value
+    if axis is None and call.args:
+        # method-style ``x.mean(0)``; module-style ``np.mean(x, 0)`` has the
+        # array first, but its positional axis never parses as one here
+        # because arrays are names/attributes, not integer constants.
+        axis = call.args[0]
+    if axis is None:
+        return False
+    return any(v >= 0 for v in _const_axis_values(axis))
+
 
 def _dotted(node: ast.expr) -> Tuple[str, ...]:
     """``np.random.seed`` -> ``("np", "random", "seed")``; else ``()``."""
@@ -363,14 +411,18 @@ class StackedBranchRule(_LibraryRule):
     ``reshape``/``transpose``/... mean different things for ``(N, ...)``
     and stacked ``(S, ...)`` activations; a sample-aware forward using
     them without an ``ndim`` branch almost certainly corrupts the stacked
-    layout (the pre-PR-1 ``Flatten`` failure mode).
+    layout (the pre-PR-1 ``Flatten`` failure mode). Reductions with a
+    *non-negative* constant axis (``x.mean(axis=1)``) are rank-sensitive
+    for the same reason — axes counted from the front shift under the
+    sample axis — while trailing (negative) axes are layout-safe.
     """
 
     id = "AXS002"
     name = "stacked-branch-missing"
     summary = (
-        "a sample_aware=True forward that reshapes/transposes must "
-        "branch on ndim to handle stacked (S, ...) activations"
+        "a sample_aware=True forward that reshapes/transposes or reduces "
+        "over a front-counted axis must branch on ndim to handle stacked "
+        "(S, ...) activations"
     )
 
     def applies_to(self, src: SourceFile) -> bool:
@@ -398,6 +450,14 @@ class StackedBranchRule(_LibraryRule):
                         has_ndim = True
                     elif node.attr in _RANK_SENSITIVE_METHODS and rank_sensitive is None:
                         rank_sensitive = node
+                if (
+                    rank_sensitive is None
+                    and isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _AXIS_REDUCTION_METHODS
+                    and _has_front_counted_axis(node)
+                ):
+                    rank_sensitive = node
             if rank_sensitive is not None and not has_ndim:
                 yield self.violation(
                     src,

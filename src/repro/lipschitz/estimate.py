@@ -10,7 +10,7 @@ from repro.autograd import Tensor, no_grad
 from repro.lipschitz.spectral import spectral_norm
 from repro.nn.module import Module
 from repro.utils.rng import new_rng, SeedLike
-from repro.variation.injector import weighted_layers
+from repro.nn.graph import weighted_layers
 
 
 def layer_spectral_norms(model: Module) -> Dict[str, float]:

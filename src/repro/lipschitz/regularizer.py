@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.autograd import Tensor
 from repro.nn.module import Module, Parameter
-from repro.variation.injector import weighted_layers
+from repro.nn.graph import weighted_layers
 
 
 class OrthogonalityRegularizer:

@@ -10,13 +10,18 @@ driving error amplification — is preserved (LeNet-5: 4-5 weighted layers;
 VGG-16 style: 13 conv + 2 FC).
 """
 
+from repro.models.attention import AttnMLP
 from repro.models.lenet import LeNet5
+from repro.models.resnet import BasicBlock, ResNet8
 from repro.models.vgg import VGG, VGG_CONFIGS
 from repro.models.mlp import MLP
 from repro.models.registry import available_models, build_model
 
 __all__ = [
+    "AttnMLP",
+    "BasicBlock",
     "LeNet5",
+    "ResNet8",
     "VGG",
     "VGG_CONFIGS",
     "MLP",

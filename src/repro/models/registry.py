@@ -5,14 +5,26 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.data.dataset import ArrayDataset
+from repro.models.attention import AttnMLP
 from repro.models.lenet import LeNet5
 from repro.models.mlp import MLP
+from repro.models.resnet import ResNet8
 from repro.models.vgg import VGG
 from repro.utils.rng import SeedLike
 
 
 def available_models() -> List[str]:
-    return ["lenet5", "vgg16", "vgg11", "vgg16bn", "vgg11bn", "mlp"]
+    return [
+        "lenet5",
+        "vgg16",
+        "vgg11",
+        "vgg16bn",
+        "vgg11bn",
+        "resnet8",
+        "resnet8bn",
+        "attnmlp",
+        "mlp",
+    ]
 
 
 def build_model(
@@ -56,6 +68,27 @@ def build_model(
             width=0.125 * width,
             classifier_width=max(int(64 * width), int(1.3 * num_classes)),
             batch_norm=name.endswith("bn"),
+            seed=seed,
+        )
+    if name in ("resnet8", "resnet8bn"):
+        # The branch-carrying family: residual fan-in on every engine.
+        return ResNet8(
+            num_classes=num_classes,
+            in_channels=channels,
+            base_width=max(int(16 * width), 4),
+            batch_norm=name.endswith("bn"),
+            seed=seed,
+        )
+    if name == "attnmlp":
+        # Patch-embed + self-attention + MLP head; patch size 4 keeps a
+        # 4x4 token grid on the 16x16 synthetic inputs.
+        return AttnMLP(
+            num_classes=num_classes,
+            in_channels=channels,
+            input_size=height,
+            patch_size=4,
+            dim=max(int(32 * width), 8),
+            num_heads=2,
             seed=seed,
         )
     if name == "mlp":

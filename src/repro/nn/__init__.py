@@ -23,8 +23,16 @@ from repro.nn.layers import (
     Tanh,
 )
 from repro.nn.batchnorm import BatchNorm1d, BatchNorm2d
+from repro.nn.structural import (
+    Add,
+    Concat,
+    GlobalAvgPool2d,
+    LayerNorm,
+    Residual,
+    SelfAttention,
+)
 from repro.nn.loss import CrossEntropyLoss, MSELoss
-from repro.nn import init
+from repro.nn import graph, init
 
 __all__ = [
     "Module",
@@ -41,9 +49,16 @@ __all__ = [
     "Identity",
     "Dropout",
     "Sequential",
+    "Add",
+    "Concat",
+    "Residual",
+    "GlobalAvgPool2d",
+    "LayerNorm",
+    "SelfAttention",
     "BatchNorm1d",
     "BatchNorm2d",
     "CrossEntropyLoss",
     "MSELoss",
+    "graph",
     "init",
 ]

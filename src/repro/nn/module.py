@@ -49,6 +49,14 @@ class Module:
     recursive traversal, state dicts and train/eval mode propagation.
     """
 
+    # Registered state (populated in __init__ via object.__setattr__; the
+    # annotations let strictly-typed consumers like repro.nn.graph walk
+    # the registration tree without casts).
+    _parameters: "OrderedDict[str, Parameter]"
+    _modules: "OrderedDict[str, Module]"
+    _buffers: "OrderedDict[str, np.ndarray]"
+    training: bool
+
     def __init__(self) -> None:
         object.__setattr__(self, "_parameters", OrderedDict())
         object.__setattr__(self, "_modules", OrderedDict())

@@ -1,0 +1,268 @@
+"""Structural modules: fan-out/fan-in graph nodes and attention blocks.
+
+These are the modules that take the layer library beyond ``Sequential``
+chains: residual skips (``Add`` / ``Residual``), channel concatenation
+(``Concat``), the global-pool and layer-norm glue of modern CNN/attention
+models, and a small multi-head ``SelfAttention`` block. All of them honor
+the sample-axis contract of the vectorized Monte-Carlo engine (see
+``docs/ARCHITECTURE.md``): stacked activations are batch-major
+``(S, N, F)`` for features/tokens and channel-major ``(S, C, N, H, W)``
+for conv maps, and fan-in nodes must align *mixed* stacked-ness — only
+some branches may contain varied layers — which
+:func:`repro.autograd.functional.fanin_add` /
+:func:`~repro.autograd.functional.fanin_concat` handle layout-aware.
+
+Traversal contract: fan-in containers register their branches in forward
+evaluation order (``Residual``: body before shortcut), so the canonical
+walk of :mod:`repro.nn.graph` — registration-order pre-order — equals
+execution order on these graphs, and every consumer (injector,
+``analogize``, sweeps, cost model) agrees on layer indexing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional
+
+from repro.autograd import Tensor, functional as F
+from repro.nn.layers import Identity, Linear
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import new_rng, SeedLike
+
+
+class _Branches(Module):
+    """Shared machinery for fan-out/fan-in containers.
+
+    Registers branches under their evaluation index (like ``Sequential``)
+    so the canonical graph walk visits them in execution order.
+    """
+
+    #: Fan-in is handled by the layout-aware autograd helpers; the
+    #: eligibility walk still requires every branch to be sample-aware.
+    sample_aware = True
+
+    def __init__(self, *branches: Module) -> None:
+        super().__init__()
+        if len(branches) < 2:
+            raise ValueError(
+                f"{type(self).__name__} needs at least two branches, "
+                f"got {len(branches)}"
+            )
+        self._order: List[str] = []
+        for i, branch in enumerate(branches):
+            setattr(self, str(i), branch)
+            self._order.append(str(i))
+
+    def branches(self) -> Iterator[Module]:
+        return iter(self._modules[name] for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]
+
+
+class Add(_Branches):
+    """Fan-out the input to every branch, fan the outputs back in by sum.
+
+    The general residual/skip node: ``Add(body, Identity())`` is a
+    classic skip connection. Branch outputs may disagree on stacked-ness
+    (a branch without varied weights returns unstacked activations);
+    :func:`repro.autograd.functional.fanin_add` aligns the layouts, so
+    each stacked slice equals the unstacked sum of the reference loop.
+    """
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.fanin_add(*[branch(x) for branch in self.branches()])
+
+
+class Concat(_Branches):
+    """Fan-out the input to every branch, concatenate the outputs.
+
+    ``kind`` names the semantic axis ("channel" for conv maps — axis 1 in
+    both the 4-D and the channel-major stacked 5-D layout — or "feature"
+    for batch-major features/tokens, trailing axis); see
+    :func:`repro.autograd.functional.fanin_concat`.
+    """
+
+    def __init__(self, *branches: Module, kind: str = "channel") -> None:
+        super().__init__(*branches)
+        if kind not in ("channel", "feature"):
+            raise ValueError(f"unknown fan-in concat kind {kind!r}")
+        self.kind = kind
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.fanin_concat(
+            [branch(x) for branch in self.branches()], kind=self.kind
+        )
+
+    def extra_repr(self) -> str:
+        return f"kind={self.kind}"
+
+
+class Residual(Module):
+    """``body(x) + shortcut(x)`` with an identity default shortcut.
+
+    The named form of :class:`Add` for residual blocks: ``body`` and
+    ``shortcut`` are registered in evaluation order (body first), which is
+    the order the canonical graph walk — and therefore the paper's
+    layer-i indexing — sees their weighted layers in.
+    """
+
+    sample_aware = True  # combine is layout-aware fanin_add; delegates else
+
+    def __init__(self, body: Module, shortcut: Optional[Module] = None) -> None:
+        super().__init__()
+        self.body = body
+        self.shortcut = Identity() if shortcut is None else shortcut
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.fanin_add(self.body(x), self.shortcut(x))
+
+
+class GlobalAvgPool2d(Module):
+    """Average each feature map to a single value; returns batch-major.
+
+    (N, C, H, W) -> (N, C); stacked channel-major (S, C, N, H, W) ->
+    (S, N, C). Like ``Flatten``, this is where the sample axis returns to
+    batch-major layout — the maps are gone after the reduction, so the
+    transpose is cheap. The spatial reduction runs over the trailing two
+    axes in both layouts, hence identical per-element summation order and
+    bitwise-paired results.
+    """
+
+    sample_aware = True  # the ndim == 5 branch below is the stacked path
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim == 5:
+            pooled = x.mean(axis=(3, 4))  # (S, C, N)
+            return pooled.transpose(0, 2, 1)  # (S, N, C) batch-major
+        if x.ndim != 4:
+            raise ValueError(
+                f"GlobalAvgPool2d expects (N, C, H, W) or stacked "
+                f"(S, C, N, H, W), got shape {x.shape}"
+            )
+        return x.mean(axis=(2, 3))
+
+
+class LayerNorm(Module):
+    """Normalise the trailing feature axis, with learnable affine.
+
+    The parameters are named ``gamma``/``beta`` (like batch norm): they
+    are digital peripheral state, not crossbar conductances, so the
+    canonical ``weighted_layers`` walk does not see them and variation
+    injection leaves them alone. The trailing-axis statistics are
+    layout-independent — (N, T, D) and stacked (S, N, T, D) reduce over
+    the same per-token values in the same order — so the forward needs no
+    rank dispatch and results stay bitwise-paired.
+    """
+
+    sample_aware = True  # trailing-axis math only: rank-agnostic
+
+    def __init__(self, num_features: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.gamma = Parameter([1.0] * num_features)
+        self.beta = Parameter([0.0] * num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.num_features:
+            raise ValueError(
+                f"LayerNorm({self.num_features}) got trailing axis "
+                f"{x.shape[-1]} (shape {x.shape})"
+            )
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = (var + self.eps) ** -0.5
+        return (x - mean) * inv_std * self.gamma + self.beta
+
+    def extra_repr(self) -> str:
+        return f"features={self.num_features}, eps={self.eps}"
+
+
+class SelfAttention(Module):
+    """Multi-head scaled dot-product self-attention over token grids.
+
+    Input is a token tensor (N, T, D) — or sample-stacked (S, N, T, D) —
+    and the output has the same layout. The q/k/v/out projections are
+    ordinary :class:`~repro.nn.layers.Linear` layers applied to
+    token-flattened 2-D/3-D activations, so they are crossbar-mapped
+    weighted layers: the injector perturbs them, ``analogize`` swaps them
+    for :class:`~repro.hardware.analog_layers.AnalogLinear`, and stacked
+    (S, out, in) weights ride through unchanged. The attention math
+    itself — batched matmuls over the trailing two axes plus a
+    trailing-axis softmax — broadcasts over any mix of stacked and
+    unstacked operands, which is what keeps mixed layer-subset injection
+    correct.
+    """
+
+    sample_aware = True  # every reshape/transpose below is ndim-dispatched
+
+    def __init__(
+        self,
+        dim: int,
+        num_heads: int = 2,
+        bias: bool = True,
+        seed: SeedLike = None,
+        weight_init: str = "kaiming",
+    ) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(
+                f"embedding dim {dim} not divisible by num_heads {num_heads}"
+            )
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.scale = 1.0 / math.sqrt(self.head_dim)
+        rng = new_rng(seed)
+
+        def _seed() -> int:
+            return int(rng.integers(2**31))
+
+        self.q_proj = Linear(dim, dim, bias=bias, seed=_seed(), weight_init=weight_init)
+        self.k_proj = Linear(dim, dim, bias=bias, seed=_seed(), weight_init=weight_init)
+        self.v_proj = Linear(dim, dim, bias=bias, seed=_seed(), weight_init=weight_init)
+        self.out_proj = Linear(dim, dim, bias=bias, seed=_seed(), weight_init=weight_init)
+
+    def _split_heads(self, y: Tensor, n: int, t: int) -> Tensor:
+        """(N*T, D) -> (N, H, T, dh); stacked (S, N*T, D) -> (S, N, H, T, dh)."""
+        h, dh = self.num_heads, self.head_dim
+        if y.ndim == 3:
+            return y.reshape(y.shape[0], n, t, h, dh).transpose(0, 1, 3, 2, 4)
+        return y.reshape(n, t, h, dh).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, y: Tensor, n: int, t: int) -> Tensor:
+        """Inverse of :meth:`_split_heads`, back to token-flattened layout."""
+        if y.ndim == 5:
+            return y.transpose(0, 1, 3, 2, 4).reshape(y.shape[0], n * t, self.dim)
+        return y.transpose(0, 2, 1, 3).reshape(n * t, self.dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim == 3:
+            n, t, _ = x.shape
+            flat = x.reshape(n * t, self.dim)
+        elif x.ndim == 4:
+            s, n, t, _ = x.shape
+            flat = x.reshape(s, n * t, self.dim)
+        else:
+            raise ValueError(
+                f"SelfAttention expects tokens (N, T, D) or stacked "
+                f"(S, N, T, D), got shape {x.shape}"
+            )
+        q = self._split_heads(self.q_proj(flat), n, t)
+        k = self._split_heads(self.k_proj(flat), n, t)
+        v = self._split_heads(self.v_proj(flat), n, t)
+        k_t = k.transpose(0, 1, 2, 4, 3) if k.ndim == 5 else k.transpose(0, 1, 3, 2)
+        scores = q.matmul(k_t) * self.scale
+        attn = F.softmax(scores, axis=-1)
+        context = self._merge_heads(attn.matmul(v), n, t)
+        out = self.out_proj(context)
+        if out.ndim == 3:
+            return out.reshape(out.shape[0], n, t, self.dim)
+        return out.reshape(n, t, self.dim)
+
+    def extra_repr(self) -> str:
+        return f"dim={self.dim}, heads={self.num_heads}"

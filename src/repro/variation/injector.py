@@ -34,6 +34,7 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
+from repro.nn.graph import weighted_layers
 from repro.nn.module import Module, Parameter
 from repro.utils.rng import new_rng, spawn_rngs, SeedLike
 from repro.variation.models import VariationModel
@@ -41,26 +42,19 @@ from repro.variation.models import VariationModel
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (spec imports models)
     from repro.variation.spec import VariationLike
 
+__all__ = [
+    "perturbed",
+    "VariationInjector",
+    "WEIGHT_ATTR_NAMES",
+    # Re-exported for backwards compatibility: the authoritative layer
+    # ordering lives in repro.nn.graph (the canonical module-graph walk).
+    "weighted_layers",
+]
+
 #: Parameter attribute names treated as crossbar-mapped weights. Biases and
 #: batch-norm affine parameters are digital/peripheral state in typical
 #: RRAM accelerators, matching the paper's weight-only variation model.
 WEIGHT_ATTR_NAMES = ("weight",)
-
-
-def weighted_layers(module: Module) -> List[Tuple[str, Module]]:
-    """Ordered (name, module) list of layers owning a crossbar-mapped weight.
-
-    This ordering defines the paper's "layer i" indexing: Fig. 9's sweep,
-    candidate selection and compensation placement all index into it.
-    Digital (compensation) modules are excluded.
-    """
-    layers = []
-    for name, sub in module.named_modules():
-        if getattr(sub, "digital", False):
-            continue
-        if "weight" in sub._parameters:
-            layers.append((name, sub))
-    return layers
 
 
 def _iter_target_params(

@@ -134,6 +134,53 @@ class TestPlanBuilding:
         assert pool_plan.backend == "pool"
         assert not pool_plan.worker_vectorized
 
+    def test_fallback_reason_names_blocking_modules(self, blob_dataset):
+        """A denied vectorized request must say *which* modules blocked it
+        (axis-1 Softmax here), not just silently pick a slower backend."""
+        import repro.nn as nn
+
+        model = nn.Sequential(nn.Flatten(), nn.Linear(4, 3, seed=0),
+                              nn.Softmax(axis=1))
+        model.eval()
+        plan = build_plan(model, blob_dataset, LogNormalVariation(0.3),
+                          n_samples=3, seed=0, vectorized=True)
+        assert plan.backend_reason is not None
+        assert "fell back to the loop backend" in plan.backend_reason
+        assert "2 (Softmax)" in plan.backend_reason
+        pool_plan = build_plan(model, blob_dataset, LogNormalVariation(0.3),
+                               n_samples=3, seed=0, vectorized=True,
+                               n_workers=2)
+        assert "fell back to the pool backend" in pool_plan.backend_reason
+
+    def test_no_reason_when_request_honored(self, mlp, blob_dataset, lenet,
+                                            tiny_test):
+        mlp.eval()
+        # vectorized granted: nothing to explain
+        granted = build_plan(mlp, blob_dataset, LogNormalVariation(0.3),
+                             n_samples=3, seed=0, vectorized=True)
+        assert granted.backend == "vectorized"
+        assert granted.backend_reason is None
+        # loop/pool *chosen* (not a fallback): also nothing to explain
+        assert build_plan(mlp, blob_dataset, LogNormalVariation(0.3),
+                          n_samples=3, seed=0).backend_reason is None
+        # evaluator surface carries the field through plan()
+        lenet.eval()
+        ev = MonteCarloEvaluator(tiny_test, n_samples=2, vectorized=True)
+        assert ev.plan(lenet, LogNormalVariation(0.3)).backend_reason is None
+
+    def test_reason_excluded_from_fingerprint(self, mlp, blob_dataset):
+        """backend_reason is a diagnostic: two plans differing only in it
+        must fingerprint identically (results are backend-invariant)."""
+        from repro.store.fingerprint import fingerprint_payload
+
+        import dataclasses
+
+        mlp.eval()
+        a = build_plan(mlp, blob_dataset, LogNormalVariation(0.3),
+                       n_samples=3, seed=0, vectorized=True)
+        b = dataclasses.replace(a, backend_reason="synthetic diagnostic")
+        assert fingerprint_payload(a, "m", "d") == fingerprint_payload(b, "m", "d")
+
     def test_deterministic_short_circuit(self, mlp, blob_dataset, lenet,
                                          tiny_test):
         mlp.eval()
