@@ -175,6 +175,20 @@ def eval_main(argv: Optional[List[str]] = None) -> int:
     _add_chunk_args(parser)
     _add_adaptive_args(parser)
     parser.add_argument(
+        "--dtype", choices=["float64", "float32"], default="float64",
+        help="evaluation arithmetic: float64 (bit-exact historical "
+        "protocol) or float32 (half the memory traffic, ~2x GEMM "
+        "throughput; results are seed-paired across engines per dtype "
+        "but differ from float64's). Weight-domain only",
+    )
+    parser.add_argument(
+        "--autotune", action="store_true",
+        help="pick engine/workers/chunking from the persisted per-machine "
+        "cost model (measured micro-benchmarks, cached under the user "
+        "cache dir) instead of --engine/--workers/--chunk-samples; "
+        "bitwise-neutral — only execution knobs move",
+    )
+    parser.add_argument(
         "--dump-accuracies", default=None, metavar="PATH",
         help="write the per-draw accuracies (seed-schedule order) to PATH "
         "as JSON — e.g. for checking the adaptive/fixed paired-prefix "
@@ -228,6 +242,12 @@ def eval_main(argv: Optional[List[str]] = None) -> int:
                 "(without it the evaluation is purely weight-domain)"
             )
 
+    if args.analog and args.dtype != "float64":
+        parser.error(
+            "--dtype float32 is weight-domain only: the crossbar simulator "
+            "is float64 physics (see repro.evaluation.plan)"
+        )
+
     train, test = _load_data(args.dataset)
     model = build_model(args.model, train, seed=args.seed)
     model.load(args.checkpoint)
@@ -251,6 +271,19 @@ def eval_main(argv: Optional[List[str]] = None) -> int:
         # Unset: size the pool to the machine. An explicit --workers 1
         # deliberately degenerates to the serial loop.
         n_workers = os.cpu_count() or 2
+    autotune_kwargs = {}
+    if args.autotune:
+        # Wall clock and cache-dir env reads belong to the CLI layer; the
+        # engine only ever sees the injected callable and resolved path.
+        import time
+
+        from repro.utils.cache import default_autotune_cache
+
+        autotune_kwargs = dict(
+            autotune=True,
+            clock=time.perf_counter,
+            autotune_cache=default_autotune_cache(),
+        )
     evaluator = MonteCarloEvaluator(
         test,
         n_samples=args.max_samples if args.max_samples else args.samples,
@@ -259,6 +292,8 @@ def eval_main(argv: Optional[List[str]] = None) -> int:
         chunk_samples=args.chunk_samples,
         memory_budget_mb=args.memory_budget,
         tolerance=args.tolerance,
+        dtype=args.dtype,
+        **autotune_kwargs,
     )
     variation = _resolve_variation(args)
     result = evaluator.evaluate(model, variation)
@@ -305,6 +340,16 @@ def search_main(argv: Optional[List[str]] = None) -> int:
     _add_variation_arg(parser)
     _add_chunk_args(parser)
     _add_adaptive_args(parser)
+    parser.add_argument(
+        "--dtype", choices=["float64", "float32"], default="float64",
+        help="evaluation arithmetic for the pipeline's Monte-Carlo stages "
+        "(float32 halves memory traffic; weight-domain only)",
+    )
+    parser.add_argument(
+        "--autotune", action="store_true",
+        help="pick evaluation backend/workers/chunking from the persisted "
+        "per-machine cost model instead of the defaults",
+    )
     args = parser.parse_args(argv)
     if args.verbose:
         set_verbosity()
@@ -323,6 +368,8 @@ def search_main(argv: Optional[List[str]] = None) -> int:
         config.eval.tolerance = args.tolerance
     if args.max_samples is not None:
         config.eval.n_samples = args.max_samples
+    config.eval.dtype = args.dtype
+    config.eval.autotune = args.autotune
     result = CorrectNet(model, train, test, config).run()
     print(
         format_table(

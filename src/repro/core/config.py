@@ -98,6 +98,16 @@ class EvalConfig:
     # both stop decisions and reported ci_low/ci_high.
     ci_confidence: float = 0.95
     ci_method: str = "clt"
+    # Eval dtype policy ("float64" | "float32"): float32 halves memory
+    # traffic and roughly doubles GEMM throughput for weight-domain
+    # evaluation. Paired-seed bitwise equality holds per dtype across all
+    # backends, but float32 results are NOT float64 results — the store
+    # fingerprint includes the dtype.
+    dtype: str = "float64"
+    # Pick backend/workers/chunk/data-block from the persisted per-machine
+    # cost model (repro.evaluation.autotune) instead of the flags above.
+    # Bitwise-neutral: tuning only moves execution knobs.
+    autotune: bool = False
     # Opt-in result store (see repro.store): when set, the pipeline's
     # full-protocol evaluations go through the fingerprinted cache at this
     # sqlite path — a repeated evaluation of identical logical inputs

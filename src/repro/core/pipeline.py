@@ -160,8 +160,22 @@ class CorrectNet:
         """Monte-Carlo engine configured per ``config.eval`` (vectorized by
         default, with automatic fallback for non-sample-aware models).
         ``chunk_samples`` is the default stacked-chunk size; a configured
-        ``memory_budget_mb`` derives the chunk from a byte budget instead."""
+        ``memory_budget_mb`` derives the chunk from a byte budget instead.
+        ``cfg.autotune`` swaps the static knobs for the measured cost model
+        — the wall clock and cache path are resolved here (core is outside
+        the deterministic engine dirs) and injected."""
         cfg = self.config.eval
+        autotune_kwargs = {}
+        if cfg.autotune:
+            import time
+
+            from repro.utils.cache import default_autotune_cache
+
+            autotune_kwargs = dict(
+                autotune=True,
+                clock=time.perf_counter,
+                autotune_cache=default_autotune_cache(),
+            )
         return MonteCarloEvaluator(
             self.test_data,
             n_samples=n_samples,
@@ -174,6 +188,8 @@ class CorrectNet:
             min_samples=cfg.min_samples,
             ci_confidence=cfg.ci_confidence,
             ci_method=cfg.ci_method,
+            dtype=cfg.dtype,
+            **autotune_kwargs,
         )
 
     def _full_evaluate(self, evaluator: MonteCarloEvaluator, model: Module) -> MCResult:

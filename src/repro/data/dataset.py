@@ -34,6 +34,27 @@ class ArrayDataset(Dataset):
         self.images = images
         self.labels = labels
 
+    @classmethod
+    def from_views(cls, images: np.ndarray, labels: np.ndarray) -> "ArrayDataset":
+        """Wrap arrays as-is, skipping the float64/int64 coercion copy.
+
+        The evaluation engines use this to carry float32 images (the eval
+        dtype policy) and zero-copy views into shared-memory segments —
+        both of which ``__init__``'s coercion would silently copy back to
+        float64. Shapes are still validated; dtypes are the caller's
+        contract.
+        """
+        dataset = cls.__new__(cls)
+        if images.ndim != 4:
+            raise ValueError(f"images must be (N, C, H, W), got {images.shape}")
+        if labels.ndim != 1 or len(labels) != len(images):
+            raise ValueError(
+                f"labels shape {labels.shape} does not match {len(images)} images"
+            )
+        dataset.images = images
+        dataset.labels = labels
+        return dataset
+
     def __len__(self) -> int:
         return len(self.images)
 

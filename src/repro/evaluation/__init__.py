@@ -19,7 +19,9 @@ from repro.evaluation.executor import (
     IncrementalEvaluation,
     make_adapter,
     reassemble_shards,
+    ShmArena,
 )
+from repro.evaluation.autotune import autotune_plan
 from repro.evaluation.plan import build_plan, estimate_sample_bytes, EvalPlan
 from repro.evaluation.sequential import (
     allocate_draws,
@@ -55,12 +57,14 @@ __all__ = [
     "stacked_accuracies",
     "supports_sample_axis",
     "EvalPlan",
+    "autotune_plan",
     "build_plan",
     "estimate_sample_bytes",
     "execute",
     "make_adapter",
     "IncrementalEvaluation",
     "reassemble_shards",
+    "ShmArena",
     "StoppingRule",
     "FixedSamples",
     "HalfWidthRule",

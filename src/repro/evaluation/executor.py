@@ -23,17 +23,40 @@ the plan's seed schedule, in the same order — that single fact is the
 entire cross-backend bitwise contract, and it is now stated (and tested)
 once instead of per engine.
 
-The pool backend ships the model, dataset and plan once per worker
-through the executor initializer (task payloads carry only each shard's
-rng streams, so IPC is O(workers + samples)) and rebuilds the adapter in
-the worker. Workers run the **vectorized stacked kernels over their
+The pool backend ships its inputs once per worker through the executor
+initializer and rebuilds the adapter in the worker; task payloads carry
+only ``(start, stop)`` sample spans (workers re-derive their rng streams
+from the plan's seed schedule — ``spawn_rngs`` is deterministic), so IPC
+is O(workers). Under the default ``"shm"`` transport the initializer
+ships a :class:`ShmArena` manifest plus a model pickle whose parameter
+arrays were swapped for empty stubs: the dataset, the nominal parameter
+planes and — when ``plan.shm_planes`` — every chunk's pre-drawn stacked
+perturbation planes live in one POSIX shared-memory segment that workers
+attach zero-copy instead of deserializing. The parent owns the segment
+and unlinks it in a ``finally`` around the pool, so normal exit, worker
+crash and adaptive cancellation all leave ``/dev/shm`` clean. The
+legacy ``"pickle"`` transport (everything through initializer pickles)
+remains for plans carrying live ``layers`` references and for
+benchmarking. Workers run the **vectorized stacked kernels over their
 shard's chunks** when the plan says the model supports it
 (``plan.worker_vectorized`` — the hybrid workers × stacked-S scale point
 recorded in ``BENCH_mc.json``), falling back to the per-draw reference
-loop otherwise. Shards may complete in any order;
-:func:`reassemble_shards` puts every draw back at its seed-schedule
-position, so ``MCResult.accuracies[i]`` is stream ``i``'s draw on every
-backend — the property downstream CI computation relies on.
+loop otherwise; shards are aligned with the chunk schedule
+(``plan.worker_shards``), so a worker's stacked passes — and its
+pre-drawn plane regions — are exactly whole chunks. Shards may complete
+in any order; :func:`reassemble_shards` puts every draw back at its
+seed-schedule position, so ``MCResult.accuracies[i]`` is stream ``i``'s
+draw on every backend — the property downstream CI computation relies
+on.
+
+Eval dtype: a ``dtype="float32"`` plan evaluates a float32 *rounding* of
+the model — every parameter, buffer and image cast exactly once at run
+scope (:func:`_dtype_scope` in-process, permanently on the worker's
+private copy in the pool) — while draws keep being generated in float64
+from the float32-rounded nominal and cast once
+(:meth:`VariationInjector._draw`). Stream consumption depends only on
+shapes, so the seed schedule is dtype-invariant and the bitwise pairing
+contract holds *per dtype* across all three backends.
 
 Sequential (adaptive) stopping: when the plan carries a
 ``stopping`` rule, every backend evaluates chunk-by-chunk, re-checks the
@@ -51,7 +74,9 @@ draws are a bitwise prefix of the fixed-S run on the same seed.
 from __future__ import annotations
 
 import contextlib
+import pickle
 from concurrent.futures import as_completed, Future, ProcessPoolExecutor
+from multiprocessing import shared_memory
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -100,9 +125,12 @@ class WeightAdapter:
         variation: VariationModel,
         layers: Optional[Sequence[Module]] = None,
         protection_masks: Optional[Dict[str, npt.NDArray[Any]]] = None,
+        dtype: str = "float64",
     ) -> None:
         self.model = model
-        self.injector = VariationInjector(model, variation, layers, protection_masks)
+        self.injector = VariationInjector(
+            model, variation, layers, protection_masks, dtype
+        )
 
     @property
     def has_targets(self) -> bool:
@@ -179,7 +207,75 @@ def make_adapter(model: Module, plan: EvalPlan) -> ModelAdapter:
     """The adapter matching the plan's domain, bound to ``model``."""
     if plan.domain == "analog":
         return AnalogAdapter(model, plan.variation)
-    return WeightAdapter(model, plan.variation, plan.layers, plan.protection_masks)
+    return WeightAdapter(
+        model, plan.variation, plan.layers, plan.protection_masks, plan.dtype
+    )
+
+
+# ---------------------------------------------------------------------------
+# Eval dtype
+# ---------------------------------------------------------------------------
+def _cast_model(model: Module, dtype: str) -> List[Tuple[Any, ...]]:
+    """Cast every parameter and buffer of ``model`` to ``dtype``, once.
+
+    Goes around the float64 coercion in ``Parameter``/``set_buffer`` by
+    assigning directly (the registration plumbing stays intact — only the
+    array contents change dtype). Returns the restore list
+    :func:`_dtype_scope` unwinds; pool workers discard it (the cast is
+    permanent on their private copy). Shared parameters/modules are cast
+    exactly once.
+    """
+    saved: List[Tuple[Any, ...]] = []
+    seen: set[int] = set()
+    for module in model.modules():
+        if id(module) in seen:
+            continue
+        seen.add(id(module))
+        for param in module._parameters.values():
+            if id(param) in seen:
+                continue
+            seen.add(id(param))
+            saved.append(("param", param, param.data))
+            param.data = param.data.astype(dtype)
+        for name, buf in list(module._buffers.items()):
+            saved.append(("buffer", module, name, buf))
+            cast_buf = buf.astype(dtype)
+            module._buffers[name] = cast_buf
+            object.__setattr__(module, name, cast_buf)
+    return saved
+
+
+@contextlib.contextmanager
+def _dtype_scope(model: Module, dtype: str) -> Iterator[None]:
+    """Run scope of the eval dtype policy: cast the model once, restore on
+    exit. ``float64`` is a no-op (the model already is). Nesting is safe
+    (inner scopes re-cast already-cast arrays; restore unwinds in reverse),
+    which is what lets ``evaluate_grid`` hold many incremental evaluations
+    of one model open at once."""
+    if dtype == "float64":
+        yield
+        return
+    saved = _cast_model(model, dtype)
+    try:
+        yield
+    finally:
+        for entry in reversed(saved):
+            if entry[0] == "param":
+                _, param, data = entry
+                param.data = data
+            else:
+                _, module, name, buf = entry
+                module._buffers[name] = buf
+                object.__setattr__(module, name, buf)
+
+
+def _cast_dataset(dataset: ArrayDataset, dtype: str) -> ArrayDataset:
+    """The dataset in the eval dtype — a cast copy of the images when the
+    policy asks for one, the dataset itself otherwise (labels are class
+    indices, never cast)."""
+    if dtype == "float64" or dataset.images.dtype == np.dtype(dtype):
+        return dataset
+    return ArrayDataset.from_views(dataset.images.astype(dtype), dataset.labels)
 
 
 # ---------------------------------------------------------------------------
@@ -222,15 +318,188 @@ def _stacked_accuracies(
     return accs
 
 
-#: Per-worker state installed by :func:`_pool_init` — the executor
-#: initializer runs once per worker process, so the (potentially large)
-#: model and dataset cross the IPC boundary once per worker instead of
-#: once per task payload.
+# ---------------------------------------------------------------------------
+# Shared-memory transport
+# ---------------------------------------------------------------------------
+class ShmArena:
+    """Many named numpy arrays in one POSIX shared-memory segment.
+
+    The parent :meth:`create`\\ s the arena from ``{key: (dtype, shape)}``
+    specs, fills the arrays through :meth:`array` views, and ships the
+    picklable :attr:`manifest` (segment name + per-key offset/dtype/shape)
+    to workers, which :meth:`attach` and map the same physical pages —
+    transport cost is O(1) in the array sizes. Ownership is explicit: only
+    the creating side :meth:`unlink`\\ s (always, in a ``finally``), so a
+    worker that crashes mid-task can never strand a segment; attachers
+    just :meth:`close`. Offsets are 64-byte aligned so every view is
+    cache-line (and SIMD) aligned.
+    """
+
+    ALIGN = 64
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        manifest: Dict[str, Any],
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self.manifest = manifest
+        self._owner = owner
+
+    @classmethod
+    def create(cls, specs: Dict[str, Tuple[str, Tuple[int, ...]]]) -> "ShmArena":
+        """Allocate a segment laid out for ``specs``; contents start zeroed."""
+        entries: Dict[str, Tuple[int, str, Tuple[int, ...]]] = {}
+        offset = 0
+        for key, (dtype, shape) in specs.items():
+            offset = -(-offset // cls.ALIGN) * cls.ALIGN
+            entries[key] = (offset, dtype, tuple(shape))
+            offset += int(np.dtype(dtype).itemsize * int(np.prod(shape or (1,))))
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        return cls(shm, {"name": shm.name, "entries": entries}, owner=True)
+
+    @classmethod
+    def attach(cls, manifest: Dict[str, Any]) -> "ShmArena":
+        """Map an existing arena from its manifest (worker side)."""
+        return cls(
+            shared_memory.SharedMemory(name=manifest["name"]), manifest, owner=False
+        )
+
+    @property
+    def name(self) -> str:
+        return cast(str, self.manifest["name"])
+
+    def keys(self) -> List[str]:
+        return list(self.manifest["entries"])
+
+    def array(self, key: str) -> npt.NDArray[Any]:
+        """A zero-copy view of entry ``key``; valid until :meth:`close`."""
+        offset, dtype, shape = self.manifest["entries"][key]
+        return np.ndarray(shape, dtype=dtype, buffer=self._shm.buf, offset=offset)
+
+    def close(self) -> None:
+        """Drop this process's mapping (views must be dead)."""
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Remove the segment system-wide; owner-only, idempotent."""
+        if not self._owner:
+            return
+        self._owner = False
+        self._shm.unlink()
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+        self.unlink()
+
+
+def _stripped_payload(model: Module, plan: EvalPlan) -> bytes:
+    """The shm transport's pickle: ``(model, plan)`` with every parameter
+    array swapped for an empty stub (weight domain — workers re-point the
+    parameters at the arena's nominal planes by name). Analog models are
+    pickled whole: workers *program* their crossbar state per draw, so each
+    needs a private mutable copy; only the dataset rides the arena.
+    """
+    if plan.domain == "analog":
+        return pickle.dumps((model, plan))
+    saved: List[Tuple[Any, npt.NDArray[Any]]] = []
+    try:
+        for _, param in model.named_parameters():
+            saved.append((param, param.data))
+            param.data = np.empty((0,), dtype=np.float64)
+        return pickle.dumps((model, plan))
+    finally:
+        for param, data in saved:
+            param.data = data
+
+
+@contextlib.contextmanager
+def _shm_transport(
+    plan: EvalPlan, model: Module, dataset: ArrayDataset
+) -> Iterator[Tuple[bytes, Dict[str, Any]]]:
+    """Build the arena + stripped payload for one pool run; always unlink.
+
+    Arena contents (all in the plan's eval dtype where floating):
+
+    - ``images`` / ``labels`` — the dataset, cast once by the parent;
+    - ``param:<name>`` — every parameter's nominal plane (weight domain);
+    - ``plane:<name>`` — all ``n_samples`` pre-drawn perturbation stacks
+      (``plan.shm_planes`` — the parent consumes the seed schedule through
+      the same :meth:`VariationInjector._draw` the workers would, so the
+      planes are bitwise what each worker would have drawn).
+
+    The ``finally`` is the crash-safety story: the parent created the
+    segment, so whether the pool exits cleanly, a worker SIGKILLs, or an
+    adaptive rule cancels in-flight chunks, leaving this context unlinks
+    the one and only segment.
+    """
+    specs: Dict[str, Tuple[str, Tuple[int, ...]]] = {
+        "images": (plan.dtype, tuple(dataset.images.shape)),
+        "labels": (str(dataset.labels.dtype), tuple(dataset.labels.shape)),
+    }
+    params = list(model.named_parameters()) if plan.domain == "weight" else []
+    for name, param in params:
+        specs[f"param:{name}"] = (plan.dtype, tuple(param.data.shape))
+    injector: Optional[VariationInjector] = None
+    if plan.shm_planes:
+        injector = VariationInjector(
+            model, plan.variation, plan.layers, plan.protection_masks, plan.dtype
+        )
+        for target_name, target, _ in injector._targets():
+            specs[f"plane:{target_name}"] = (
+                plan.dtype,
+                (plan.n_samples,) + tuple(target.data.shape),
+            )
+    arena = ShmArena.create(specs)
+    try:
+        arena.array("images")[...] = dataset.images
+        arena.array("labels")[...] = dataset.labels
+        for name, param in params:
+            arena.array(f"param:{name}")[...] = param.data
+        if injector is not None:
+            injector.stack_into(
+                plan.draw_rngs(),
+                {
+                    key[len("plane:") :]: arena.array(key)
+                    for key in arena.keys()
+                    if key.startswith("plane:")
+                },
+            )
+        yield _stripped_payload(model, plan), arena.manifest
+    finally:
+        arena.close()
+        arena.unlink()
+
+
+#: Per-worker state installed by the pool initializers — the initializer
+#: runs once per worker process, so the model/dataset (or the arena
+#: mapping) cross the IPC boundary once per worker instead of per task.
 _POOL_STATE: Dict[str, Any] = {}
 
 
+def _install_pool_state(
+    model: Module,
+    dataset: ArrayDataset,
+    plan: EvalPlan,
+    planes: Optional[Dict[str, npt.NDArray[Any]]],
+) -> None:
+    _POOL_STATE["model"] = model
+    _POOL_STATE["dataset"] = dataset
+    _POOL_STATE["plan"] = plan
+    _POOL_STATE["adapter"] = make_adapter(model, plan)
+    _POOL_STATE["planes"] = planes
+    # Workers re-derive rng streams from the plan instead of receiving
+    # them in task payloads: spawn_rngs is deterministic, so stream i here
+    # is bitwise stream i everywhere.
+    _POOL_STATE["rngs"] = [] if plan.deterministic else plan.draw_rngs()
+
+
 def _pool_init(model: Module, dataset: ArrayDataset, plan: EvalPlan) -> None:
-    """Executor initializer: rebuild this worker's adapter and context.
+    """Pickle-transport initializer: rebuild adapter and context.
 
     The model, layer subset and masks travel inside one pickle (the plan
     carries layers/masks) so object identity between ``plan.layers``
@@ -238,28 +507,109 @@ def _pool_init(model: Module, dataset: ArrayDataset, plan: EvalPlan) -> None:
     adapters resolve their per-layer specs here, against this worker's
     copy of the module tree.
     """
-    _POOL_STATE["model"] = model
-    _POOL_STATE["dataset"] = dataset
-    _POOL_STATE["plan"] = plan
-    _POOL_STATE["adapter"] = make_adapter(model, plan)
+    if plan.dtype != "float64":
+        _cast_model(model, plan.dtype)
+        dataset = _cast_dataset(dataset, plan.dtype)
+    _install_pool_state(model, dataset, plan, planes=None)
 
 
-def _pool_worker(rngs: Sequence[np.random.Generator]) -> List[float]:
-    """Evaluate one contiguous shard of draws.
+def _pool_init_shm(payload: bytes, manifest: Dict[str, Any]) -> None:
+    """Shm-transport initializer: attach the arena, re-point state at it.
 
-    Receives only the shard's rng streams; everything else lives in
-    :data:`_POOL_STATE` since :func:`_pool_init`. Runs the stacked kernels
-    chunk by chunk when the plan allows (hybrid pool x vectorized), else
-    the per-draw reference loop.
+    The worker's dataset images, nominal parameter planes and (when
+    pre-drawn) perturbation stacks are views of the parent's segment —
+    nothing is copied. All of those are read-only by contract: the
+    injector *replaces* ``Parameter.data`` references (never writes in
+    place) and restores them, so many workers safely share one mapping.
+    Buffers arrive through the pickle in float64 and are cast here for
+    float32 plans (tiny: batch-norm statistics). The arena mapping is
+    kept alive in the worker for its whole life; worker exit releases it,
+    and the parent owns the unlink.
+    """
+    arena = ShmArena.attach(manifest)
+    _POOL_STATE["arena"] = arena
+    model, plan = cast(
+        Tuple[Module, EvalPlan], pickle.loads(payload)  # noqa: S301 - own bytes
+    )
+    if plan.dtype != "float64":
+        _cast_model(model, plan.dtype)
+    dataset = ArrayDataset.from_views(arena.array("images"), arena.array("labels"))
+    if plan.domain == "weight":
+        named = dict(model.named_parameters())
+        for key in arena.keys():
+            if key.startswith("param:"):
+                named[key[len("param:") :]].data = arena.array(key)
+    planes: Optional[Dict[str, npt.NDArray[Any]]] = None
+    if plan.shm_planes:
+        planes = {
+            key[len("plane:") :]: arena.array(key)
+            for key in arena.keys()
+            if key.startswith("plane:")
+        }
+    _install_pool_state(model, dataset, plan, planes)
+
+
+def _pool_span(start: int, stop: int) -> List[float]:
+    """Evaluate the draws of one chunk-aligned ``[start, stop)`` span.
+
+    The task payload is just the span; model, dataset, plan, adapter and
+    seed schedule live in :data:`_POOL_STATE` since the initializer. Runs
+    the stacked kernels chunk by chunk when the plan allows (hybrid pool x
+    vectorized) — reading pre-drawn planes straight out of the arena when
+    the parent provided them, drawing from the span's own streams
+    otherwise — else the per-draw reference loop. Either way draw ``i``
+    is stream ``i``'s, bitwise.
     """
     model = cast(Module, _POOL_STATE["model"])
     dataset = cast(ArrayDataset, _POOL_STATE["dataset"])
     plan = cast(EvalPlan, _POOL_STATE["plan"])
     adapter = cast(ModelAdapter, _POOL_STATE["adapter"])
+    planes = cast(
+        Optional[Dict[str, npt.NDArray[Any]]], _POOL_STATE.get("planes")
+    )
+    rngs = cast(List[np.random.Generator], _POOL_STATE["rngs"])[start:stop]
     with adapter.run_context():
         if plan.worker_vectorized and adapter.has_targets:
+            if planes is not None:
+                injector = cast(WeightAdapter, adapter).injector
+                accs: List[float] = []
+                for chunk_start in range(start, stop, plan.chunk_samples):
+                    chunk_stop = min(chunk_start + plan.chunk_samples, stop)
+                    stacked = {
+                        name: plane[chunk_start:chunk_stop]
+                        for name, plane in planes.items()
+                    }
+                    with injector.applied_stack(stacked):
+                        chunk_accs = stacked_accuracies(
+                            model, dataset, chunk_stop - chunk_start, plan.data_block
+                        )
+                    accs.extend(float(a) for a in chunk_accs)
+                return accs
             return _stacked_accuracies(model, dataset, adapter, plan, rngs)
         return _loop_accuracies(model, dataset, adapter, plan, rngs)
+
+
+@contextlib.contextmanager
+def _pool(
+    plan: EvalPlan, model: Module, dataset: ArrayDataset, max_workers: int
+) -> Iterator[ProcessPoolExecutor]:
+    """A worker pool initialized per the plan's transport, cleaned up
+    (shutdown, then arena unlink) however the body exits."""
+    if plan.transport == "pickle":
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_pool_init,
+            initargs=(model, dataset, plan),
+        ) as pool:
+            yield pool
+        return
+    with _shm_transport(plan, model, dataset) as (payload, manifest):
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_pool_init_shm,
+            initargs=(payload, manifest),
+        ) as pool:
+            yield pool
 
 
 def reassemble_shards(parts: Iterable[Tuple[int, List[float]]]) -> List[float]:
@@ -340,7 +690,7 @@ class IncrementalEvaluation:
     ) -> None:
         self.plan = plan
         self.model = model
-        self.dataset = dataset
+        self.dataset = _cast_dataset(dataset, plan.dtype)
         self.on_chunk = on_chunk
         self.accuracies: List[float] = []
         self.adapter: ModelAdapter = make_adapter(model, plan)
@@ -399,8 +749,10 @@ class IncrementalEvaluation:
                 self._stopped = True
 
     def __enter__(self) -> "IncrementalEvaluation":
-        self._ctx = self.adapter.run_context()
-        self._ctx.__enter__()
+        stack = contextlib.ExitStack()
+        stack.enter_context(_dtype_scope(self.model, self.plan.dtype))
+        stack.enter_context(self.adapter.run_context())
+        self._ctx = stack
         return self
 
     def __exit__(self, *exc: object) -> None:
@@ -466,15 +818,10 @@ def _run_pool(plan: EvalPlan, model: Module, dataset: ArrayDataset) -> "MCResult
     completion order — which depends on OS scheduling — never leaks into
     the result.
     """
-    rngs = plan.draw_rngs()
     shards = plan.worker_shards()
-    with ProcessPoolExecutor(
-        max_workers=min(plan.n_workers, plan.n_samples),
-        initializer=_pool_init,
-        initargs=(model, dataset, plan),
-    ) as pool:
+    with _pool(plan, model, dataset, max_workers=len(shards)) as pool:
         futures = {
-            pool.submit(_pool_worker, rngs[start:stop]): index
+            pool.submit(_pool_span, start, stop): index
             for index, (start, stop) in enumerate(shards)
         }
         parts = [(futures[f], f.result()) for f in as_completed(futures)]
@@ -496,16 +843,11 @@ def _run_pool_adaptive(
     """
     rule = plan.stopping
     assert rule is not None  # caller dispatches on this
-    rngs = plan.draw_rngs()
     bounds = plan.chunks()
     accs: List[float] = []
     max_workers = min(plan.n_workers, len(bounds))
     window = 2 * max_workers
-    with ProcessPoolExecutor(
-        max_workers=max_workers,
-        initializer=_pool_init,
-        initargs=(model, dataset, plan),
-    ) as pool:
+    with _pool(plan, model, dataset, max_workers=max_workers) as pool:
         pending: Dict[int, "Future[List[float]]"] = {}
         next_submit = 0
 
@@ -513,7 +855,7 @@ def _run_pool_adaptive(
             nonlocal next_submit
             while next_submit < min(limit, len(bounds)):
                 start, stop = bounds[next_submit]
-                pending[next_submit] = pool.submit(_pool_worker, rngs[start:stop])
+                pending[next_submit] = pool.submit(_pool_span, start, stop)
                 next_submit += 1
 
         for index in range(len(bounds)):
@@ -556,7 +898,15 @@ def execute(
             "use an in-process backend (loop/vectorized) for streaming"
         )
     if plan.deterministic and on_chunk is None:
-        return _result(plan, [accuracy(model, dataset, plan.batch_size)])
+        with _dtype_scope(model, plan.dtype):
+            return _result(
+                plan,
+                [
+                    accuracy(
+                        model, _cast_dataset(dataset, plan.dtype), plan.batch_size
+                    )
+                ],
+            )
     if plan.backend == "pool" and not plan.deterministic:
         if plan.stopping is not None:
             return _run_pool_adaptive(plan, model, dataset)

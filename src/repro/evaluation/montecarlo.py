@@ -55,7 +55,17 @@ from __future__ import annotations
 
 from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -255,6 +265,10 @@ class MonteCarloEvaluator:
         min_samples: Optional[int] = None,
         ci_confidence: float = 0.95,
         ci_method: str = "clt",
+        dtype: str = "float64",
+        autotune: bool = False,
+        clock: Optional[Callable[[], float]] = None,
+        autotune_cache: Optional[Path] = None,
     ) -> None:
         if n_samples <= 0:
             raise ValueError(f"n_samples must be positive, got {n_samples}")
@@ -300,6 +314,10 @@ class MonteCarloEvaluator:
         self.min_samples = min_samples
         self.ci_confidence = ci_confidence
         self.ci_method = ci_method
+        self.dtype = dtype
+        self.autotune = autotune
+        self.clock = clock
+        self.autotune_cache = autotune_cache
 
     def plan(
         self,
@@ -317,7 +335,33 @@ class MonteCarloEvaluator:
         form of :meth:`evaluate`'s dispatch. The model must be in the mode
         it will be evaluated in (``evaluate`` forces eval mode).
         ``tolerance``/``max_samples``/``min_samples`` override the
-        evaluator defaults for this plan only."""
+        evaluator defaults for this plan only.
+
+        With ``autotune=True`` (and no live ``layers``/``protection_masks``
+        — layer subsets have no cost-model key) the execution knobs come
+        from :func:`~repro.evaluation.autotune.autotune_plan` instead of
+        the evaluator's flags: a persisted per-machine cost model, probed
+        through the injected ``clock`` when one is available."""
+        if self.autotune and layers is None and not protection_masks:
+            from repro.evaluation.autotune import autotune_plan
+
+            return autotune_plan(
+                model,
+                self.dataset,
+                variation,
+                n_samples=self.n_samples if max_samples is None else max_samples,
+                seed=self.seed,
+                dtype=self.dtype,
+                clock=self.clock,
+                cache_path=self.autotune_cache,
+                batch_size=self.batch_size,
+                tolerance=self.tolerance if tolerance is None else tolerance,
+                min_samples=(
+                    self.min_samples if min_samples is None else min_samples
+                ),
+                ci_confidence=self.ci_confidence,
+                ci_method=self.ci_method,
+            )
         return build_plan(
             model,
             self.dataset,
@@ -335,6 +379,7 @@ class MonteCarloEvaluator:
             min_samples=self.min_samples if min_samples is None else min_samples,
             ci_confidence=self.ci_confidence,
             ci_method=self.ci_method,
+            dtype=self.dtype,
             layers=layers,
             protection_masks=protection_masks,
         )

@@ -87,6 +87,7 @@ class CompensationEnv:
             min_samples=eval_config.min_samples,
             ci_confidence=eval_config.ci_confidence,
             ci_method=eval_config.ci_method,
+            dtype=eval_config.dtype,
         )
         self._cache: Dict[Tuple[float, ...], EnvOutcome] = {}
 

@@ -68,6 +68,11 @@ def _submit_parser(sub: "argparse._SubParsersAction[argparse.ArgumentParser]") -
     p.add_argument("--chunk-samples", type=int, default=None, metavar="S",
                    help="pin the chunk schedule (execution knob: recorded "
                    "with the job, excluded from the fingerprint)")
+    p.add_argument("--dtype", choices=["float64", "float32"],
+                   default="float64",
+                   help="evaluation arithmetic; part of the fingerprint "
+                   "(a float32 result is a different cache row). "
+                   "Weight-domain only")
     p.add_argument("--analog", action="store_true",
                    help="evaluate through the crossbar simulator")
     p.add_argument("--dac-bits", type=int, default=None)
@@ -131,6 +136,7 @@ def _request_from_args(
         model_seed=args.model_seed,
         checkpoint=args.checkpoint,
         tolerance=args.tolerance,
+        dtype=args.dtype,
         analog=analog,
         chunk_samples=args.chunk_samples,
         sweep_key=args.sweep_key,

@@ -49,7 +49,10 @@ from repro.variation.spec import to_dict as spec_to_dict
 
 #: Bump when the payload layout changes; part of the hashed payload, so
 #: fingerprints from different layouts can never collide silently.
-FINGERPRINT_VERSION = 1
+#: v2: ``dtype`` joined the payload — a float32 evaluation is a different
+#: logical result than a float64 one (unlike backend/workers/chunking,
+#: which remain excluded).
+FINGERPRINT_VERSION = 2
 
 _JSONScalar = Union[None, bool, int, float, str]
 
@@ -175,13 +178,14 @@ def fingerprint_payload(
     """The normalized dict a plan fingerprints through.
 
     In: model and dataset content digests, the resolved spec, the sample
-    cap and seed (together: the seed schedule), the domain, the analog
-    conversion parameters when the model was crossbar-deployed, and the
-    stopping/CI params. Out: every execution knob — ``backend``,
-    ``n_workers``, ``worker_vectorized``, ``chunk_samples``,
-    ``batch_size``, ``data_block`` — because none of them may change the
-    result (the repo-wide paired-seed contract), so none may split the
-    cache.
+    cap and seed (together: the seed schedule), the domain, the **eval
+    dtype** (bitwise pairing holds only per dtype — a float32 result is
+    not a float64 result), the analog conversion parameters when the
+    model was crossbar-deployed, and the stopping/CI params. Out: every
+    execution knob — ``backend``, ``n_workers``, ``worker_vectorized``,
+    ``chunk_samples``, ``batch_size``, ``data_block``, ``transport``,
+    ``shm_planes`` — because none of them may change the result (the
+    repo-wide paired-seed contract), so none may split the cache.
     """
     if plan.layers is not None or plan.protection_masks:
         raise ValueError(
@@ -197,6 +201,7 @@ def fingerprint_payload(
         "n_samples": plan.n_samples,
         "seed": _seed_value(plan.seed),
         "domain": plan.domain,
+        "dtype": plan.dtype,
         "analog": analog,
         "stopping": stopping_payload(plan.stopping),
     }

@@ -101,6 +101,9 @@ class JobRequest:
     min_samples: Optional[int] = None
     ci_confidence: float = 0.95
     ci_method: str = "clt"
+    # Eval dtype: part of the logical result (and so of the fingerprint)
+    # — a float32 evaluation is a different cache row than a float64 one.
+    dtype: str = "float64"
     analog: Optional[AnalogParams] = None
     # Execution knobs: recorded for reproducible scheduling, excluded
     # from the fingerprint.
@@ -125,6 +128,7 @@ class JobRequest:
             "min_samples": self.min_samples,
             "ci_confidence": self.ci_confidence,
             "ci_method": self.ci_method,
+            "dtype": self.dtype,
             "analog": None if self.analog is None else self.analog.to_dict(),
             "chunk_samples": self.chunk_samples,
             "batch_size": self.batch_size,
@@ -152,6 +156,7 @@ class JobRequest:
             min_samples=payload.get("min_samples"),
             ci_confidence=float(payload.get("ci_confidence", 0.95)),
             ci_method=str(payload.get("ci_method", "clt")),
+            dtype=str(payload.get("dtype", "float64")),
             analog=None if analog is None else AnalogParams.from_dict(analog),
             chunk_samples=payload.get("chunk_samples"),
             batch_size=int(payload.get("batch_size", 256)),
@@ -215,6 +220,7 @@ def materialize(request: JobRequest) -> Materialized:
         spec,
         n_samples=request.n_samples,
         seed=request.seed,
+        dtype=request.dtype,
         batch_size=request.batch_size,
         vectorized=True,  # in-process backend; falls back to loop
         n_workers=0,

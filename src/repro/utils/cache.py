@@ -1,0 +1,32 @@
+"""Per-user cache-directory resolution.
+
+This is deliberately *outside* the engine directories: resolving a cache
+location reads ``os.environ`` (XDG conventions), which reprolint's DET001
+bans from evaluation/hardware/variation/store code — engine results must
+be pure functions of plan + seed. Callers (CLIs, config loading) resolve
+a path here and hand it to the engine, the same way wall-clock time is
+injected as a ``clock`` callable.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["user_cache_dir", "default_autotune_cache"]
+
+
+def user_cache_dir(app: str = "repro") -> Path:
+    """``$XDG_CACHE_HOME/<app>`` when set, else ``~/.cache/<app>``.
+
+    Only resolves the path — nothing is created until someone writes.
+    """
+    base = os.environ.get("XDG_CACHE_HOME", "").strip()
+    root = Path(base) if base else Path.home() / ".cache"
+    return root / app
+
+
+def default_autotune_cache(app: str = "repro") -> Path:
+    """Where :func:`repro.evaluation.autotune.autotune_plan` persists its
+    per-machine cost model unless told otherwise."""
+    return user_cache_dir(app) / "autotune.json"

@@ -97,6 +97,15 @@ class VariationInjector:
     protection_masks:
         Optional ``{qualified-param-name: bool array}``; entries that are
         ``True`` are held at their nominal value (digitally protected).
+    dtype:
+        Arithmetic dtype of the *installed* perturbations (``"float64"``,
+        the historical bit-exact protocol, or ``"float32"``). Under either
+        dtype the draw itself is generated in float64 — for float32 from
+        the float32-rounded nominal (``nominal.astype(f32).astype(f64)``,
+        idempotent whether the model already runs in float32 or not) and
+        cast exactly once afterwards. Stream consumption depends only on
+        parameter shapes, so the seed schedule is dtype-invariant and the
+        per-dtype pairing contract holds on every engine.
     """
 
     def __init__(
@@ -105,6 +114,7 @@ class VariationInjector:
         variation: "VariationLike",
         layers: Optional[Sequence[Module]] = None,
         protection_masks: Optional[Dict[str, np.ndarray]] = None,
+        dtype: str = "float64",
     ) -> None:
         from repro.variation.spec import parse_spec
 
@@ -112,6 +122,7 @@ class VariationInjector:
         self.variation = parse_spec(variation)
         self.layers = layers
         self.protection_masks = protection_masks or {}
+        self.dtype = str(np.dtype(dtype))
         self._target_cache: Optional[
             List[Tuple[str, Parameter, VariationModel]]
         ] = None
@@ -153,17 +164,41 @@ class VariationInjector:
         choosing a stacked execution path)."""
         return [param for _, param, _ in self._targets()]
 
+    def _draw(
+        self,
+        name: str,
+        param: Parameter,
+        variation: VariationModel,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """One draw for one parameter — the *only* sampling site.
+
+        Every consumer (loop, stacked, pool workers, pre-drawn shm planes)
+        goes through here, which is what makes the per-dtype pairing
+        contract a single-point invariant: float64 perturbs the nominal
+        directly (bit-identical to every historical run); float32 perturbs
+        the float32-rounded nominal in float64 and casts the result once.
+        """
+        nominal = param.data
+        if self.dtype == "float64":
+            perturbed_data = variation.perturb(nominal, rng)
+            mask = self.protection_masks.get(name)
+            if mask is not None:
+                perturbed_data = np.where(mask, nominal, perturbed_data)
+            return perturbed_data
+        base = nominal.astype(np.float32).astype(np.float64)
+        perturbed_data = variation.perturb(base, rng)
+        mask = self.protection_masks.get(name)
+        if mask is not None:
+            perturbed_data = np.where(mask, base, perturbed_data)
+        return perturbed_data.astype(np.float32)
+
     def sample(self, seed: SeedLike = None) -> Dict[str, np.ndarray]:
         """Return ``{param-name: perturbed array}`` without touching the model."""
         rng = new_rng(seed)
         out = {}
         for name, param, variation in self._targets():
-            nominal = param.data
-            perturbed_data = variation.perturb(nominal, rng)
-            mask = self.protection_masks.get(name)
-            if mask is not None:
-                perturbed_data = np.where(mask, nominal, perturbed_data)
-            out[name] = perturbed_data
+            out[name] = self._draw(name, param, variation, rng)
         return out
 
     def sample_batch(
@@ -193,18 +228,31 @@ class VariationInjector:
         """
         targets = self._targets()
         stacks: Dict[str, np.ndarray] = {
-            name: np.empty((len(rngs),) + param.data.shape)
+            name: np.empty((len(rngs),) + param.data.shape, dtype=self.dtype)
             for name, param, _ in targets
         }
         for i, rng in enumerate(rngs):
             for name, param, variation in targets:
-                nominal = param.data
-                perturbed_data = variation.perturb(nominal, rng)
-                mask = self.protection_masks.get(name)
-                if mask is not None:
-                    perturbed_data = np.where(mask, nominal, perturbed_data)
-                stacks[name][i] = perturbed_data
+                stacks[name][i] = self._draw(name, param, variation, rng)
         return stacks
+
+    def stack_into(
+        self,
+        rngs: Sequence[np.random.Generator],
+        stacks: Dict[str, np.ndarray],
+    ) -> None:
+        """Like :meth:`stack_for` but filling caller-owned arrays.
+
+        ``stacks`` maps qualified parameter names to pre-allocated
+        ``(len(rngs), *param.shape)`` arrays — typically views into a
+        shared-memory arena, so the draws land in place with no extra
+        copy. Same streams, same order, same :meth:`_draw` per slot as
+        :meth:`stack_for`: the results are bitwise equal.
+        """
+        targets = self._targets()
+        for i, rng in enumerate(rngs):
+            for name, param, variation in targets:
+                stacks[name][i] = self._draw(name, param, variation, rng)
 
     @contextlib.contextmanager
     def applied_stack(
@@ -242,12 +290,8 @@ class VariationInjector:
         try:
             rng = new_rng(seed)
             for name, param, variation in self._targets():
-                nominal = param.data
-                perturbed_data = variation.perturb(nominal, rng)
-                mask = self.protection_masks.get(name)
-                if mask is not None:
-                    perturbed_data = np.where(mask, nominal, perturbed_data)
-                saved.append((param, nominal))
+                perturbed_data = self._draw(name, param, variation, rng)
+                saved.append((param, param.data))
                 param.data = perturbed_data
             yield self
         finally:

@@ -17,6 +17,7 @@ from repro.evaluation import (
     accuracy,
     build_plan,
     estimate_sample_bytes,
+    execute,
     MonteCarloEvaluator,
 )
 from repro.evaluation.plan import resolve_chunk_samples
@@ -211,7 +212,10 @@ class TestPlanBuilding:
         plan = build_plan(mlp, blob_dataset, LogNormalVariation(0.3),
                           n_samples=7, seed=0, chunk_samples=3, n_workers=2)
         assert plan.chunks() == ((0, 3), (3, 6), (6, 7))
-        assert plan.worker_shards() == ((0, 4), (4, 7))
+        # Shards are chunk-aligned: contiguous runs of whole chunks, so a
+        # worker's stacked passes (and its shm plane regions) are exactly
+        # the chunk sizes the plan promised.
+        assert plan.worker_shards() == ((0, 6), (6, 7))
         # chunk never exceeds n_samples
         big = build_plan(mlp, blob_dataset, LogNormalVariation(0.3),
                          n_samples=4, seed=0, chunk_samples=100)
@@ -240,6 +244,43 @@ class TestPlanBuilding:
             MonteCarloEvaluator(blob_dataset, chunk_samples=0)
         with pytest.raises(ValueError):
             MonteCarloEvaluator(blob_dataset, memory_budget_mb=0.0)
+
+    def test_workers_clamped_to_pinned_chunk_count(self, mlp, blob_dataset):
+        """Regression: more workers than chunks used to spin up idle
+        processes (each paying fork + transport cost for zero tasks). A
+        *pinned* chunk schedule can't be reshaped, so the plan clamps the
+        worker count instead — and says so."""
+        mlp.eval()
+        plan = build_plan(mlp, blob_dataset, LogNormalVariation(0.3),
+                          n_samples=6, seed=0, n_workers=4, chunk_samples=3)
+        assert plan.chunks() == ((0, 3), (3, 6))
+        assert plan.n_workers == 2
+        assert plan.backend == "pool"
+        assert plan.backend_reason is not None
+        assert "n_workers clamped from 4 to 2" in plan.backend_reason
+        # Degenerate pin: one chunk leaves nothing to parallelize.
+        serial = build_plan(mlp, blob_dataset, LogNormalVariation(0.3),
+                            n_samples=6, seed=0, n_workers=4,
+                            chunk_samples=6)
+        assert serial.backend == "loop"
+        assert "n_workers clamped from 4 to 1" in serial.backend_reason
+
+    def test_defaulted_chunk_shrinks_to_feed_workers(self, mlp, blob_dataset):
+        """When the chunk size was defaulted (not pinned by the caller or
+        a memory budget), the plan reshapes it instead of clamping —
+        chunking is bitwise-neutral, so the pool request survives."""
+        mlp.eval()
+        plan = build_plan(mlp, blob_dataset, LogNormalVariation(0.3),
+                          n_samples=6, seed=0, n_workers=2)
+        assert plan.backend == "pool"
+        assert plan.n_workers == 2
+        assert len(plan.chunks()) >= 2
+        assert plan.worker_shards() == ((0, 3), (3, 6))
+        # The reshape is schedule-only: results pair with the loop.
+        loop = build_plan(mlp, blob_dataset, LogNormalVariation(0.3),
+                          n_samples=6, seed=0)
+        assert execute(plan, mlp, blob_dataset) == execute(
+            loop, mlp, blob_dataset)
 
 
 class TestPlanExecutionParity:
